@@ -1,0 +1,172 @@
+// Command dumbnet-emu brings up a DumbNet fabric on the simulator and
+// exercises it end to end: probe-based topology discovery, all-pairs
+// connectivity, latency measurement and failure injection — the CLI
+// equivalent of racking the paper's testbed.
+//
+//	dumbnet-emu -topo testbed
+//	dumbnet-emu -topo fattree -k 4 -fail
+//	dumbnet-emu -topo cube -n 3 -pings 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dumbnet/internal/core"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+func buildTopology(kind string, k, n int) (*topo.Topology, int, error) {
+	switch kind {
+	case "testbed":
+		t, err := topo.Testbed()
+		return t, 16, err
+	case "fattree":
+		t, err := topo.FatTree(k, 0, 0)
+		return t, k + 1, err
+	case "cube":
+		t, err := topo.Cube(n, 1, 0)
+		return t, 8, err
+	case "leafspine":
+		t, err := topo.LeafSpine(2, k, n, 0)
+		return t, n + 4, err
+	default:
+		return nil, 0, fmt.Errorf("unknown topology %q (testbed|fattree|cube|leafspine)", kind)
+	}
+}
+
+func main() {
+	var (
+		kind     = flag.String("topo", "testbed", "topology: testbed|fattree|cube|leafspine")
+		k        = flag.Int("k", 4, "fat-tree arity / leaf count")
+		n        = flag.Int("n", 3, "cube side / hosts per leaf")
+		pings    = flag.Int("pings", 3, "pings per sampled host pair")
+		fail     = flag.Bool("fail", false, "inject a link failure mid-run")
+		discover = flag.Bool("discover", true, "use probe-based discovery (false: install topology directly)")
+		iperf    = flag.Duration("iperf", 0, "run a goodput measurement for this long (e.g. 100ms)")
+		stats    = flag.Bool("stats", false, "query per-switch counters at the end")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	t, maxPorts, err := buildTopology(*kind, *k, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %d switches, %d links, %d hosts\n",
+		t.NumSwitches(), t.NumLinks(), t.NumHosts())
+
+	net, err := core.New(t, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *discover {
+		report, err := net.Discover(maxPorts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("discovery: %s\n", report)
+	} else {
+		if err := net.Bootstrap(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("bootstrap: topology installed directly")
+	}
+
+	hosts := net.Hosts()
+	if len(hosts) < 2 {
+		fmt.Println("not enough hosts for traffic")
+		os.Exit(0)
+	}
+	// Sample a few pairs spread across the host list.
+	pairs := [][2]core.MAC{
+		{hosts[0], hosts[len(hosts)-1]},
+		{hosts[len(hosts)/2], hosts[0]},
+		{hosts[len(hosts)-1], hosts[len(hosts)/2]},
+	}
+	for _, pr := range pairs {
+		for i := 0; i < *pings; i++ {
+			rtt, err := net.PingSync(pr[0], pr[1])
+			if err != nil {
+				log.Fatalf("ping %v -> %v: %v", pr[0], pr[1], err)
+			}
+			fmt.Printf("ping %v -> %v: rtt %v\n", pr[0], pr[1], rtt.Duration())
+		}
+	}
+
+	if *fail {
+		ids := t.SwitchIDs()
+		var a, b core.SwitchID
+		found := false
+		for _, id := range ids {
+			for _, nb := range t.Neighbors(id) {
+				a, b, found = id, nb.Sw, true
+				break
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			fmt.Printf("\ninjecting failure on link %d <-> %d\n", a, b)
+			if err := net.FailLink(a, b); err != nil {
+				log.Fatal(err)
+			}
+			net.RunFor(100 * sim.Millisecond)
+			rtt, err := net.PingSync(pairs[0][0], pairs[0][1])
+			if err != nil {
+				log.Fatalf("post-failure ping failed: %v", err)
+			}
+			fmt.Printf("post-failure ping %v -> %v: rtt %v (failover worked)\n",
+				pairs[0][0], pairs[0][1], rtt.Duration())
+		}
+	}
+	if *iperf > 0 {
+		src, dst := hosts[0], hosts[len(hosts)-1]
+		fmt.Printf("\niperf %v -> %v for %v:\n", src, dst, *iperf)
+		const frame = 1464
+		received := 0
+		if err := net.OnReceive(dst, func(core.MAC, []byte) { received++ }); err != nil {
+			log.Fatal(err)
+		}
+		deadline := net.Eng.Now() + sim.FromDuration(*iperf)
+		payload := make([]byte, frame-64)
+		var pump func()
+		pump = func() {
+			if net.Eng.Now() >= deadline {
+				return
+			}
+			for i := 0; i < 8; i++ {
+				_ = net.Send(src, dst, payload)
+			}
+			net.Eng.After(10*sim.Microsecond, pump)
+		}
+		pump()
+		net.Run()
+		gbps := float64(received) * frame * 8 / (*iperf).Seconds() / 1e9
+		fmt.Printf("  delivered %d frames, goodput %.2f Gbps\n", received, gbps)
+	}
+
+	if *stats {
+		fmt.Println("\nper-switch counters (source-routed stats queries):")
+		for _, id := range t.SwitchIDs() {
+			id := id
+			net.Ctrl.QuerySwitchStats(id, func(r *packet.StatsReply, err error) {
+				if err != nil {
+					fmt.Printf("  switch %d: %v\n", id, err)
+					return
+				}
+				fmt.Printf("  switch %d: forwarded=%d dropped=%d marked=%d floods=%d\n",
+					r.ID, r.Forwarded, r.Dropped, r.Marked, r.Floods)
+			})
+		}
+		net.Run()
+	}
+
+	fmt.Printf("\nvirtual time elapsed: %v, events processed: %d\n",
+		net.Eng.Now().Duration(), net.Eng.Processed())
+}

@@ -1,0 +1,16 @@
+// Package dumbnet is a from-scratch reproduction of "DumbNet: A Smart Data
+// Center Network Fabric with Dumb Switches" (Li et al., EuroSys 2018): a
+// data-center network whose switches keep no state — hosts source-route
+// every packet with per-hop port tags, and all control-plane functions
+// (topology discovery, routing, failure handling, traffic engineering) run
+// in host software plus a replicated controller.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record of every table and
+// figure. The runnable entry points are:
+//
+//	cmd/dumbnet-bench      regenerate the paper's tables and figures
+//	cmd/dumbnet-emu        bring up a fabric and drive it end to end
+//	cmd/dumbnet-locreport  code-size breakdown (Table 1 analogue)
+//	examples/...           five worked examples of the public API
+package dumbnet

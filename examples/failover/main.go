@@ -1,0 +1,72 @@
+// Failover: demonstrate DumbNet's two-stage failure handling (paper §4.2).
+// A link dies mid-conversation; switches flood hop-limited notifications,
+// hosts patch their caches and fail over to pre-cached detours before the
+// controller has even spoken, then the controller's topology patch arrives.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dumbnet/internal/core"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+func main() {
+	log.SetFlags(0)
+	t, err := topo.Testbed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := core.New(t, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Bootstrap(); err != nil {
+		log.Fatal(err)
+	}
+	net.WarmAll()
+
+	hosts := net.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	fmt.Printf("conversation: %v <-> %v (cross-leaf, two spine paths)\n", src, dst)
+
+	// Watch the failure handling on the source host.
+	agent := net.Agent(src)
+	agent.OnLinkEvent = func(ev *packet.LinkEvent) {
+		fmt.Printf("  [%8v] stage 1: host heard link event sw=%d port=%d up=%v\n",
+			net.Eng.Now().Duration(), ev.Switch, ev.Port, ev.Up)
+	}
+	agent.OnPatch = func(p *topo.Patch) {
+		fmt.Printf("  [%8v] stage 2: controller patch v%d (%d ops)\n",
+			net.Eng.Now().Duration(), p.Version, len(p.Ops))
+	}
+
+	rtt, err := net.PingSync(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before failure: rtt %v, path queries so far: %d\n",
+		rtt.Duration(), agent.Stats().PathQueries)
+
+	srcAt, _ := t.HostAt(src)
+	fmt.Printf("\ncutting spine link 1 <-> %d ...\n", srcAt.Switch)
+	if err := net.FailLink(1, srcAt.Switch); err != nil {
+		log.Fatal(err)
+	}
+	net.RunFor(50 * sim.Millisecond)
+
+	rtt, err = net.PingSync(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := agent.Stats()
+	fmt.Printf("\nafter failure: rtt %v — still connected via the other spine\n", rtt.Duration())
+	fmt.Printf("host stats: %d distinct link events, %d floods sent, %d patches, %d total controller queries (unchanged)\n",
+		st.EventsSeen, st.FloodsSent, st.PatchesAppled, st.PathQueries)
+	fmt.Println("\nkey point: recovery used only pre-cached paths — zero controller round trips on the critical path")
+}

@@ -1,0 +1,67 @@
+// Receiver-driven transport: the pHost-style extension (§6.1) running over
+// the testbed. Eight senders incast into one receiver; token pacing keeps
+// the fabric lossless and SRPT lets a late short flow jump the queue.
+//
+//	go run ./examples/transport
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dumbnet/internal/core"
+	"dumbnet/internal/phost"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+func main() {
+	log.SetFlags(0)
+	t, err := topo.Testbed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := core.New(t, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Bootstrap(); err != nil {
+		log.Fatal(err)
+	}
+	net.WarmAll()
+	hosts := net.Hosts()
+
+	tr := make(map[core.MAC]*phost.Transport)
+	for _, m := range hosts {
+		tr[m] = phost.New(net.Eng, net.Agent(m), phost.DefaultConfig())
+	}
+	dst := hosts[0]
+
+	fmt.Println("8-to-1 incast, 2 MB each, receiver-paced:")
+	for i := 1; i <= 8; i++ {
+		src := hosts[i]
+		if _, err := tr[src].SendFlow(dst, 2_000_000, func(d sim.Time) {
+			fmt.Printf("  long flow from %v done in %v\n", src, d.Duration())
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A latency-sensitive short flow arrives late; SRPT serves it first.
+	net.RunFor(500 * sim.Microsecond)
+	short := hosts[9]
+	if _, err := tr[short].SendFlow(dst, 100_000, func(d sim.Time) {
+		fmt.Printf("  SHORT flow from %v done in %v (jumped the queue)\n", short, d.Duration())
+	}); err != nil {
+		log.Fatal(err)
+	}
+	net.Run()
+
+	drops := uint64(0)
+	for _, l := range net.Fab.Links() {
+		drops += l.StatsFrom(true).Drops + l.StatsFrom(false).Drops
+	}
+	st := tr[dst].Stats()
+	fmt.Printf("\nreceiver: %d flows, %d tokens granted, %d retransmission tokens\n",
+		st.FlowsReceived, st.TokensSent, st.Retransmits)
+	fmt.Printf("fabric drops during the incast: %d (receiver pacing keeps queues empty)\n", drops)
+}

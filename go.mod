@@ -1,0 +1,3 @@
+module dumbnet
+
+go 1.22

@@ -1,0 +1,481 @@
+// Package controller implements the DumbNet centralized controller (paper
+// §4): BFS topology discovery with probe messages, the path-graph service
+// hosts query for routes, stage-2 failure handling (topology patches), and
+// replication of the topology view across controller replicas through the
+// consensus log (the ZooKeeper role in the paper).
+//
+// A controller is itself just a host: it embeds a host.Agent and speaks the
+// same tag-routed control messages as everyone else. The switches never
+// know it exists.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dumbnet/internal/consensus"
+	"dumbnet/internal/host"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// PathGraph sets the Algorithm-1 constants for issued path graphs.
+	PathGraph topo.PathGraphOptions
+	// RequestDelay models per-path-request processing cost.
+	RequestDelay sim.Time
+	// PatchDelay models per-host patch transmission processing cost.
+	PatchDelay sim.Time
+	// Discovery configures the prober.
+	Discovery DiscoveryConfig
+}
+
+// DefaultConfig mirrors the prototype.
+func DefaultConfig() Config {
+	return Config{
+		PathGraph:    topo.PathGraphOptions{S: 2, Epsilon: 1},
+		RequestDelay: 3 * sim.Microsecond,
+		PatchDelay:   2 * sim.Microsecond,
+		Discovery:    DefaultDiscoveryConfig(),
+	}
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	PathRequests  uint64
+	PathResponses uint64
+	PathRefused   uint64 // tenant-policy rejections
+	PatchesSent   uint64
+	LinkEventsIn  uint64
+	LinkDownsSeen uint64
+	LinkUpsSeen   uint64
+	Proposals     uint64
+}
+
+// removedLink remembers a failed link so a later link-up can restore it.
+type removedLink struct {
+	a  packet.SwitchID
+	pa topo.Port
+	b  packet.SwitchID
+	pb topo.Port
+}
+
+// Controller is one controller instance (primary or replica).
+type Controller struct {
+	Agent *host.Agent
+	eng   *sim.Engine
+	cfg   Config
+	rng   *rand.Rand
+
+	master  *topo.Topology // authoritative topology view
+	version uint64
+	// graveyard maps (switch, port) of a removed link to its full record
+	// so link-up events can restore it without re-probing.
+	graveyard map[host.HopRef]removedLink
+
+	// replica is the consensus node backing this controller, when
+	// replication is enabled.
+	replica *consensus.Node
+
+	// probeSink intercepts discovery replies (installed by the active
+	// FabricTransport).
+	probeSink func(t packet.MsgType, msg any) bool
+
+	// forward relays a log proposal to the current leader replica
+	// (installed by BuildReplicaGroup).
+	forward func(data []byte)
+
+	// statsWaiting tracks outstanding switch-stats queries by sequence.
+	statsWaiting map[uint64]statsPending
+	statsSeq     uint64
+
+	// virt, when set, restricts path answers per tenant (§6.1).
+	virt Virtualizer
+
+	// OnTopologyChange fires after the master view mutates.
+	OnTopologyChange func(version uint64)
+
+	stats Stats
+}
+
+// Errors.
+var (
+	ErrNoTopology = errors.New("controller: topology not discovered yet")
+	ErrNotPrimary = errors.New("controller: not the primary replica")
+)
+
+// New creates a controller owning the given agent.
+func New(eng *sim.Engine, agent *host.Agent, cfg Config) *Controller {
+	c := &Controller{
+		Agent:     agent,
+		eng:       eng,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(int64(agent.MAC()[5]) + 7)),
+		graveyard: make(map[host.HopRef]removedLink),
+	}
+	agent.OnControl = c.onControl
+	return c
+}
+
+// MAC returns the controller's host identity.
+func (c *Controller) MAC() packet.MAC { return c.Agent.MAC() }
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Master returns the controller's current topology view (nil before
+// discovery or the first replicated snapshot).
+func (c *Controller) Master() *topo.Topology { return c.master }
+
+// Version returns the topology epoch.
+func (c *Controller) Version() uint64 { return c.version }
+
+// SetMaster installs a topology view directly (used by replicas receiving a
+// snapshot, and by tests).
+func (c *Controller) SetMaster(t *topo.Topology) {
+	c.master = t
+	c.version++
+}
+
+// onControl is the agent hook: the controller consumes path requests and
+// link events; everything else falls through to the agent's own handling.
+func (c *Controller) onControl(t packet.MsgType, msg any, from packet.MAC) bool {
+	if c.probeSink != nil && c.probeSink(t, msg) {
+		return true
+	}
+	switch t {
+	case packet.MsgPathRequest:
+		c.handlePathRequest(msg.(*packet.PathRequest))
+		return true
+	case packet.MsgLinkEvent:
+		c.handleLinkEvent(msg.(*packet.LinkEvent))
+		return true // the controller does not re-flood host-style
+	case packet.MsgHostFlood:
+		if inner, imsg, err := decodeFloodBody(msg); err == nil {
+			_ = inner
+			c.handleLinkEvent(imsg)
+		}
+		return true
+	case packet.MsgStatsReply:
+		return c.handleStatsReply(msg.(*packet.StatsReply))
+	}
+	// Discovery replies are consumed by the active discovery session via
+	// its own hook chain; everything else is the agent's business.
+	return false
+}
+
+func decodeFloodBody(msg any) (packet.MsgType, *packet.LinkEvent, error) {
+	blob, ok := msg.(*packet.Blob)
+	if !ok {
+		return packet.MsgInvalid, nil, packet.ErrBadControlMsg
+	}
+	t, inner, err := packet.DecodeControl(blob.Body)
+	if err != nil || t != packet.MsgLinkEvent {
+		return packet.MsgInvalid, nil, packet.ErrBadControlMsg
+	}
+	return t, inner.(*packet.LinkEvent), nil
+}
+
+// Virtualizer is the controller's hook into network virtualization
+// (§6.1): tenant hosts receive path graphs restricted to their slice.
+// *vnet.Manager implements it.
+type Virtualizer interface {
+	// TenantOf reports the tenant (if any) a host belongs to.
+	TenantOf(h packet.MAC) (string, bool)
+	// PathGraphFor builds a slice-restricted path graph, failing when the
+	// endpoints are not both members.
+	PathGraphFor(tenant string, src, dst packet.MAC) (*topo.PathGraph, error)
+}
+
+// SetVirtualization installs a tenant policy on the path service.
+func (c *Controller) SetVirtualization(v Virtualizer) { c.virt = v }
+
+// buildPathGraph applies the tenant policy, falling back to the global
+// view for untenanted hosts.
+func (c *Controller) buildPathGraph(src, dst packet.MAC) (*topo.PathGraph, error) {
+	if c.virt != nil {
+		if tenant, ok := c.virt.TenantOf(src); ok {
+			pg, err := c.virt.PathGraphFor(tenant, src, dst)
+			if err != nil {
+				c.stats.PathRefused++
+			}
+			return pg, err
+		}
+	}
+	return topo.BuildPathGraph(c.master, src, dst, c.cfg.PathGraph, c.rng)
+}
+
+// handlePathRequest answers with a path graph over the master view.
+func (c *Controller) handlePathRequest(req *packet.PathRequest) {
+	if c.master == nil {
+		return
+	}
+	c.stats.PathRequests++
+	c.eng.After(c.cfg.RequestDelay, func() {
+		pg, err := c.buildPathGraph(req.Src, req.Dst)
+		if err != nil {
+			return
+		}
+		body, err := packet.EncodeControl(packet.MsgPathResponse, &packet.Blob{Seq: req.Seq, Body: pg.Marshal()})
+		if err != nil {
+			return
+		}
+		tags, err := c.master.HostPath(c.MAC(), req.Src, c.rng)
+		if err != nil {
+			return
+		}
+		c.stats.PathResponses++
+		_ = c.Agent.SendFrame(req.Src, tags, packet.EtherTypeControl, body)
+	})
+}
+
+// handleLinkEvent is stage 2 (§4.2): update the master topology, replicate,
+// and flood a topology patch to every host.
+func (c *Controller) handleLinkEvent(ev *packet.LinkEvent) {
+	if c.master == nil {
+		return
+	}
+	c.stats.LinkEventsIn++
+	if ev.Up {
+		c.stats.LinkUpsSeen++
+		c.handleLinkUp(ev)
+		return
+	}
+	c.stats.LinkDownsSeen++
+	// Remove the link from the master view if still present.
+	ep, err := c.master.EndpointAt(ev.Switch, ev.Port)
+	if err != nil || ep.Kind != topo.EndpointSwitch {
+		return // already removed (we hear each failure from both sides)
+	}
+	rl := removedLink{a: ev.Switch, pa: ev.Port, b: ep.Switch, pb: ep.Port}
+	c.graveyard[host.HopRef{Switch: rl.a, Port: rl.pa}] = rl
+	c.graveyard[host.HopRef{Switch: rl.b, Port: rl.pb}] = rl
+	patch := &topo.Patch{Ops: []topo.PatchOp{{Kind: topo.OpLinkDown, Switch: ev.Switch, Port: ev.Port}}}
+	c.commitPatch(patch)
+}
+
+// handleLinkUp restores a previously failed link. (A genuinely new link
+// would be discovered by re-probing the port; restoring from the graveyard
+// covers the paper's repair scenario without a full re-discovery.)
+func (c *Controller) handleLinkUp(ev *packet.LinkEvent) {
+	rl, ok := c.graveyard[host.HopRef{Switch: ev.Switch, Port: ev.Port}]
+	if !ok {
+		return
+	}
+	delete(c.graveyard, host.HopRef{Switch: rl.a, Port: rl.pa})
+	delete(c.graveyard, host.HopRef{Switch: rl.b, Port: rl.pb})
+	patch := &topo.Patch{Ops: []topo.PatchOp{{Kind: topo.OpLinkUp, A: rl.a, PA: rl.pa, B: rl.b, PB: rl.pb}}}
+	c.commitPatch(patch)
+}
+
+// commitPatch applies a patch locally (and through consensus when enabled),
+// then floods it to all hosts.
+func (c *Controller) commitPatch(patch *topo.Patch) {
+	if c.replica != nil {
+		// Replicated mode: the mutation flows through the log; the commit
+		// callback performs the local apply and (on the primary) the flood.
+		c.stats.Proposals++
+		if _, err := c.replica.Propose(encodeLogPatch(patch)); err != nil && c.forward != nil {
+			// Not the leader: relay the proposal to whoever is.
+			c.forward(encodeLogPatch(patch))
+		}
+		return
+	}
+	c.applyPatchLocal(patch)
+	c.floodPatch(patch)
+}
+
+// applyPatchLocal mutates the master topology.
+func (c *Controller) applyPatchLocal(patch *topo.Patch) {
+	for _, op := range patch.Ops {
+		switch op.Kind {
+		case topo.OpLinkDown:
+			if ep, err := c.master.EndpointAt(op.Switch, op.Port); err == nil && ep.Kind == topo.EndpointSwitch {
+				_ = c.master.Disconnect(op.Switch, op.Port)
+			}
+		case topo.OpLinkUp:
+			_ = c.master.Connect(op.A, op.PA, op.B, op.PB)
+		case topo.OpHostAdd:
+			_ = c.master.AttachHost(op.Attach.Host, op.Attach.Switch, op.Attach.Port)
+		case topo.OpSwitchDown:
+			_ = c.master.RemoveSwitch(op.Switch)
+		}
+	}
+	c.version++
+	if c.OnTopologyChange != nil {
+		c.OnTopologyChange(c.version)
+	}
+}
+
+// floodPatch unicasts a versioned patch to every host in the master view.
+func (c *Controller) floodPatch(patch *topo.Patch) {
+	patch.Version = c.version
+	body, err := packet.EncodeControl(packet.MsgTopoPatch, &packet.Blob{Body: patch.Marshal()})
+	if err != nil {
+		return
+	}
+	delay := sim.Time(0)
+	for _, at := range c.master.Hosts() {
+		if at.Host == c.MAC() {
+			continue
+		}
+		tags, err := c.master.HostPath(c.MAC(), at.Host, c.rng)
+		if err != nil {
+			continue
+		}
+		dst := at.Host
+		delay += c.cfg.PatchDelay
+		c.stats.PatchesSent++
+		c.eng.After(delay, func() {
+			_ = c.Agent.SendFrame(dst, tags, packet.EtherTypeControl, body)
+		})
+	}
+}
+
+// Bootstrap sends every discovered host its hello patch: its own attachment
+// point, the controller identity, and the tag path back to the controller.
+// Call after discovery (or SetMaster).
+func (c *Controller) Bootstrap() error {
+	if c.master == nil {
+		return ErrNoTopology
+	}
+	// The controller's own agent is its own client: it reaches the
+	// controller process over the local loopback (empty tag path).
+	if at, err := c.master.HostAt(c.MAC()); err == nil {
+		c.Agent.SetBootstrap(at, c.MAC(), nil)
+	}
+	for _, at := range c.master.Hosts() {
+		if at.Host == c.MAC() {
+			continue
+		}
+		ctrlPath, err := c.master.HostPath(at.Host, c.MAC(), nil)
+		if err != nil {
+			continue // unreachable host; it will be patched in later
+		}
+		hello := &topo.Patch{
+			Version: c.version,
+			Ops: []topo.PatchOp{{
+				Kind:     topo.OpHello,
+				Attach:   at,
+				Ctrl:     c.MAC(),
+				CtrlPath: ctrlPath,
+			}},
+		}
+		body, err := packet.EncodeControl(packet.MsgTopoPatch, &packet.Blob{Body: hello.Marshal()})
+		if err != nil {
+			return err
+		}
+		tags, err := c.master.HostPath(c.MAC(), at.Host, nil)
+		if err != nil {
+			continue
+		}
+		if err := c.Agent.SendFrame(at.Host, tags, packet.EtherTypeControl, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Replication ------------------------------------------------------
+
+// logEntryKind discriminates replicated log entries.
+const (
+	logSnapshot byte = 1
+	logPatch    byte = 2
+)
+
+func encodeLogSnapshot(t *topo.Topology) []byte {
+	return append([]byte{logSnapshot}, t.Marshal()...)
+}
+
+func encodeLogPatch(p *topo.Patch) []byte {
+	return append([]byte{logPatch}, p.Marshal()...)
+}
+
+// ReplicaGroup keeps several controllers' topology views consistent through
+// one consensus cluster: every mutation is proposed to the log and applied
+// by each replica on commit.
+type ReplicaGroup struct {
+	Cluster     *consensus.Cluster
+	controllers []*Controller
+}
+
+// NewReplicaGroup wires controllers[i] to consensus node i. The cluster
+// must be created with the group's Apply function; use BuildReplicaGroup
+// for the common case.
+func BuildReplicaGroup(eng *sim.Engine, controllers []*Controller, ccfg consensus.Config) *ReplicaGroup {
+	g := &ReplicaGroup{controllers: controllers}
+	g.Cluster = consensus.NewCluster(eng, len(controllers), ccfg, g.apply)
+	for i, ctrl := range controllers {
+		ctrl.replica = g.Cluster.Node(consensus.NodeID(i))
+		ctrl.forward = func(data []byte) {
+			if p := g.Primary(); p != nil {
+				_, _ = p.replica.Propose(data)
+			}
+		}
+	}
+	return g
+}
+
+// Primary returns the controller whose consensus node currently leads, or
+// nil during elections.
+func (g *ReplicaGroup) Primary() *Controller {
+	l := g.Cluster.Leader()
+	if l == nil {
+		return nil
+	}
+	return g.controllers[int(l.ID())]
+}
+
+// ProposeSnapshot replicates a full topology snapshot (the discovery
+// result) through the log. Must be called on the primary.
+func (g *ReplicaGroup) ProposeSnapshot(from *Controller, t *topo.Topology) error {
+	if from.replica == nil {
+		return ErrNotPrimary
+	}
+	from.stats.Proposals++
+	_, err := from.replica.Propose(encodeLogSnapshot(t))
+	return err
+}
+
+// apply is the consensus commit callback: every replica applies entries in
+// log order; the current primary additionally floods patches to hosts.
+func (g *ReplicaGroup) apply(id consensus.NodeID, e consensus.Entry) {
+	ctrl := g.controllers[int(id)]
+	if len(e.Data) < 1 {
+		return
+	}
+	switch e.Data[0] {
+	case logSnapshot:
+		t, err := topo.UnmarshalTopology(e.Data[1:])
+		if err != nil {
+			return
+		}
+		ctrl.master = t
+		ctrl.version++
+		if ctrl.OnTopologyChange != nil {
+			ctrl.OnTopologyChange(ctrl.version)
+		}
+	case logPatch:
+		p, err := topo.UnmarshalPatch(e.Data[1:])
+		if err != nil || ctrl.master == nil {
+			return
+		}
+		ctrl.applyPatchLocal(p)
+		if ctrl.replica.Role() == consensus.Leader {
+			ctrl.floodPatch(p)
+		}
+	}
+}
+
+// String renders a short status line.
+func (c *Controller) String() string {
+	n := 0
+	if c.master != nil {
+		n = c.master.NumSwitches()
+	}
+	return fmt.Sprintf("controller %v v%d (%d switches)", c.MAC(), c.version, n)
+}

@@ -1,0 +1,13 @@
+package controller_test
+
+import (
+	"dumbnet/internal/host"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+)
+
+// newBareAgent creates a host agent with no uplink — sufficient for
+// controllers driven through an OracleTransport or pure replication tests.
+func newBareAgent(eng *sim.Engine, mac packet.MAC) *host.Agent {
+	return host.New(eng, mac, host.DefaultConfig())
+}

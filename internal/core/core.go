@@ -1,0 +1,368 @@
+// Package core is the top-level DumbNet API: it deploys a complete fabric —
+// dumb switches, host agents, a (optionally replicated) controller — over a
+// topology, brings it up either by installed configuration or by real
+// probe-message discovery, and offers traffic primitives (send, ping,
+// transfer), failure injection, and the §6 extensions (flowlet TE, custom
+// routes, virtualization, layer-3 routing) through one handle.
+//
+// Everything runs on a deterministic discrete-event simulator: virtual time
+// is explicit (Run/RunFor), and a fixed seed reproduces a run exactly.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dumbnet/internal/consensus"
+	"dumbnet/internal/controller"
+	"dumbnet/internal/fabric"
+	"dumbnet/internal/host"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// MAC re-exports the host identity type.
+type MAC = packet.MAC
+
+// SwitchID re-exports the switch identity type.
+type SwitchID = packet.SwitchID
+
+// Config tunes a deployment.
+type Config struct {
+	Seed       int64
+	Fabric     fabric.Config
+	Host       host.Config
+	Controller controller.Config
+	// ControllerHost picks which topology host runs the controller
+	// (zero value: the first host by MAC order).
+	ControllerHost MAC
+}
+
+// DefaultConfig mirrors the paper's prototype: 10 GbE links, DPDK-like host
+// datapath costs, k=4 cached paths.
+func DefaultConfig() Config {
+	return Config{
+		Seed:       1,
+		Fabric:     fabric.DefaultConfig(),
+		Host:       host.DefaultConfig(),
+		Controller: controller.DefaultConfig(),
+	}
+}
+
+// Errors.
+var (
+	ErrNoSuchHost  = errors.New("core: no such host")
+	ErrNotDeployed = errors.New("core: network not bootstrapped")
+)
+
+// Network is a deployed DumbNet fabric.
+type Network struct {
+	Eng  *sim.Engine
+	Topo *topo.Topology
+	Fab  *fabric.Fabric
+	Ctrl *controller.Controller
+
+	cfg    Config
+	agents map[MAC]*host.Agent
+	hosts  []MAC // non-controller hosts, MAC order
+
+	receivers map[MAC]func(src MAC, payload []byte)
+	pingSeq   uint64
+	pingWait  map[uint64]func(rtt sim.Time)
+	booted    bool
+	// perpetual marks that self-rescheduling timers (consensus heartbeats)
+	// keep the event queue non-empty forever; drains become time-bounded.
+	perpetual bool
+}
+
+// echo protocol markers inside MsgData-style payloads.
+const (
+	kindData byte = iota + 1
+	kindEchoReq
+	kindEchoRep
+)
+
+// New deploys a topology: switches and links come up, every host gets an
+// agent, one host becomes the controller. The network still needs
+// Bootstrap (instant) or Discover (probe-based) before traffic flows.
+func New(t *topo.Topology, cfg Config) (*Network, error) {
+	eng := sim.NewEngine(cfg.Seed)
+	fab, err := fabric.Build(eng, t, cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	hosts := t.Hosts()
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("core: topology has no hosts")
+	}
+	ctrlMAC := cfg.ControllerHost
+	if ctrlMAC.IsZero() {
+		ctrlMAC = hosts[0].Host
+	}
+	n := &Network{
+		Eng:       eng,
+		Topo:      t,
+		Fab:       fab,
+		cfg:       cfg,
+		agents:    make(map[MAC]*host.Agent, len(hosts)),
+		receivers: make(map[MAC]func(MAC, []byte)),
+		pingWait:  make(map[uint64]func(sim.Time)),
+	}
+	found := false
+	for _, at := range hosts {
+		agent := host.New(eng, at.Host, cfg.Host)
+		l, err := fab.AttachHost(at.Host, agent)
+		if err != nil {
+			return nil, err
+		}
+		agent.SetUplink(l)
+		n.agents[at.Host] = agent
+		mac := at.Host
+		agent.OnData = func(src MAC, innerType uint16, payload []byte) {
+			n.dispatch(mac, src, payload)
+		}
+		if at.Host == ctrlMAC {
+			n.Ctrl = controller.New(eng, agent, cfg.Controller)
+			found = true
+		} else {
+			n.hosts = append(n.hosts, at.Host)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: controller host %v not in topology", ctrlMAC)
+	}
+	return n, nil
+}
+
+// Hosts lists the non-controller host MACs in deterministic order.
+func (n *Network) Hosts() []MAC { return n.hosts }
+
+// Agent returns a host's agent (including the controller's).
+func (n *Network) Agent(m MAC) *host.Agent { return n.agents[m] }
+
+// Bootstrap installs the topology as the controller's master view directly
+// and delivers hello patches — the "statically configured" bring-up used
+// when discovery time is not under test.
+func (n *Network) Bootstrap() error {
+	n.Ctrl.SetMaster(n.Topo.Clone())
+	if err := n.Ctrl.Bootstrap(); err != nil {
+		return err
+	}
+	n.Eng.Run()
+	n.booted = true
+	return nil
+}
+
+// Discover runs real probe-message topology discovery through the fabric,
+// then bootstraps hosts. maxPorts bounds the per-switch port scan.
+func (n *Network) Discover(maxPorts int) (controller.DiscoveryReport, error) {
+	if maxPorts > 0 {
+		n.Ctrl = n.reconfigureDiscovery(maxPorts)
+	}
+	tr := controller.NewFabricTransport(n.Ctrl)
+	var report controller.DiscoveryReport
+	var derr error
+	done := false
+	n.Ctrl.Discover(tr, func(r controller.DiscoveryReport, err error) {
+		report, derr, done = r, err, true
+	})
+	n.Eng.Run()
+	if !done {
+		return report, fmt.Errorf("core: discovery did not complete")
+	}
+	if derr != nil {
+		return report, derr
+	}
+	if err := n.Ctrl.Bootstrap(); err != nil {
+		return report, err
+	}
+	n.Eng.Run()
+	n.booted = true
+	return report, nil
+}
+
+// reconfigureDiscovery rebuilds the controller with a new port bound.
+func (n *Network) reconfigureDiscovery(maxPorts int) *controller.Controller {
+	cfg := n.cfg.Controller
+	cfg.Discovery.MaxPorts = maxPorts
+	return controller.New(n.Eng, n.Ctrl.Agent, cfg)
+}
+
+// dispatch demultiplexes core-protocol payloads arriving at a host.
+func (n *Network) dispatch(at, src MAC, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	kind, body := payload[0], payload[1:]
+	switch kind {
+	case kindData:
+		if fn := n.receivers[at]; fn != nil {
+			fn(src, body)
+		}
+	case kindEchoReq:
+		// Reply with the same token.
+		reply := append([]byte{kindEchoRep}, body...)
+		_ = n.agents[at].SendData(src, reply)
+	case kindEchoRep:
+		if len(body) >= 8 {
+			var seq uint64
+			for i := 0; i < 8; i++ {
+				seq = seq<<8 | uint64(body[i])
+			}
+			if fn := n.pingWait[seq]; fn != nil {
+				delete(n.pingWait, seq)
+				fn(n.Eng.Now())
+			}
+		}
+	}
+}
+
+// OnReceive installs a data sink for a host.
+func (n *Network) OnReceive(h MAC, fn func(src MAC, payload []byte)) error {
+	if _, ok := n.agents[h]; !ok {
+		return ErrNoSuchHost
+	}
+	n.receivers[h] = fn
+	return nil
+}
+
+// Send delivers an application payload from src to dst (runs in virtual
+// time; call Run to drain events).
+func (n *Network) Send(src, dst MAC, payload []byte) error {
+	a, ok := n.agents[src]
+	if !ok {
+		return ErrNoSuchHost
+	}
+	if !n.booted {
+		return ErrNotDeployed
+	}
+	return a.SendData(dst, append([]byte{kindData}, payload...))
+}
+
+// Ping measures an application-level RTT: the echo reply hands back the
+// arrival time via cb. Returns immediately; run the engine to resolve.
+func (n *Network) Ping(src, dst MAC, cb func(rtt sim.Time)) error {
+	a, ok := n.agents[src]
+	if !ok {
+		return ErrNoSuchHost
+	}
+	if !n.booted {
+		return ErrNotDeployed
+	}
+	n.pingSeq++
+	seq := n.pingSeq
+	sentAt := n.Eng.Now()
+	n.pingWait[seq] = func(at sim.Time) { cb(at - sentAt) }
+	body := []byte{kindEchoReq, byte(seq >> 56), byte(seq >> 48), byte(seq >> 40), byte(seq >> 32),
+		byte(seq >> 24), byte(seq >> 16), byte(seq >> 8), byte(seq)}
+	return a.SendData(dst, body)
+}
+
+// PingSync is Ping plus engine drain, returning the measured RTT.
+func (n *Network) PingSync(src, dst MAC) (sim.Time, error) {
+	var rtt sim.Time = -1
+	if err := n.Ping(src, dst, func(r sim.Time) { rtt = r }); err != nil {
+		return 0, err
+	}
+	if n.perpetual {
+		for i := 0; i < 100 && rtt < 0; i++ {
+			n.Eng.RunFor(10 * sim.Millisecond)
+		}
+	} else {
+		n.Eng.Run()
+	}
+	if rtt < 0 {
+		return 0, fmt.Errorf("core: ping %v->%v lost", src, dst)
+	}
+	return rtt, nil
+}
+
+// FailLink cuts the link between two adjacent switches.
+func (n *Network) FailLink(a, b SwitchID) error { return n.Fab.FailLink(a, b) }
+
+// RestoreLink brings a failed link back.
+func (n *Network) RestoreLink(a, b SwitchID) error { return n.Fab.RestoreLink(a, b) }
+
+// Run drains all pending virtual-time events. Once replication is enabled,
+// heartbeat timers keep the queue non-empty forever, so Run advances a
+// bounded settle window (1 virtual second) instead.
+func (n *Network) Run() {
+	if n.perpetual {
+		n.Eng.RunFor(sim.Second)
+		return
+	}
+	n.Eng.Run()
+}
+
+// RunFor advances virtual time by d.
+func (n *Network) RunFor(d sim.Time) { n.Eng.RunFor(d) }
+
+// EnableFlowletTE switches a host's route chooser to flowlet-based traffic
+// engineering (§6.2).
+func (n *Network) EnableFlowletTE(h MAC, timeout sim.Time) error {
+	a, ok := n.agents[h]
+	if !ok {
+		return ErrNoSuchHost
+	}
+	a.Chooser = host.NewFlowletChooser(timeout)
+	return nil
+}
+
+// UseSinglePath pins a host to its primary path (the Fig 13 baseline).
+func (n *Network) UseSinglePath(h MAC) error {
+	a, ok := n.agents[h]
+	if !ok {
+		return ErrNoSuchHost
+	}
+	a.Chooser = host.SinglePathChooser{}
+	return nil
+}
+
+// EnableReplication stands up total-1 additional controller replicas and
+// routes every topology mutation through a consensus log (the paper's
+// ZooKeeper role, §4.1/§4.2). Call after Bootstrap; the current master view
+// is proposed as the initial snapshot once a leader is elected. Returns the
+// replica group; RunFor enough virtual time (seconds) for elections and
+// replication to settle.
+func (n *Network) EnableReplication(total int) (*controller.ReplicaGroup, error) {
+	if !n.booted {
+		return nil, ErrNotDeployed
+	}
+	if total < 1 {
+		total = 3
+	}
+	n.perpetual = true
+	ctrls := []*controller.Controller{n.Ctrl}
+	for i := 1; i < total; i++ {
+		mac := packet.MAC{0x02, 0xCC, 0, 0, 0, byte(i)}
+		agent := host.New(n.Eng, mac, n.cfg.Host)
+		ctrls = append(ctrls, controller.New(n.Eng, agent, n.cfg.Controller))
+	}
+	group := controller.BuildReplicaGroup(n.Eng, ctrls, consensus.DefaultConfig())
+	// Elect, then replicate the snapshot from whichever replica leads.
+	n.RunFor(2 * sim.Second)
+	primary := group.Primary()
+	if primary == nil {
+		return nil, fmt.Errorf("core: no consensus leader after election window")
+	}
+	if err := group.ProposeSnapshot(primary, n.Ctrl.Master().Clone()); err != nil {
+		return nil, err
+	}
+	n.RunFor(sim.Second)
+	return group, nil
+}
+
+// WarmAll pre-fetches path graphs for every host pair so experiments can
+// separate cold-cache effects from steady state.
+func (n *Network) WarmAll() {
+	all := append([]MAC{n.Ctrl.MAC()}, n.hosts...)
+	for _, a := range all {
+		for _, b := range all {
+			if a != b {
+				_ = n.agents[a].WarmUp(b)
+			}
+		}
+	}
+	n.Eng.Run()
+}

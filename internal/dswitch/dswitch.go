@@ -1,0 +1,350 @@
+// Package dswitch models DumbNet's stateless switch (paper §3.1, §5.3) on
+// the discrete-event simulator, plus a conventional learning switch used as
+// the "native Ethernet" baseline.
+//
+// The dumb switch does exactly three things:
+//
+//  1. forward packets by examining (and popping) the first routing tag —
+//     no tables, no lookup;
+//  2. reply with its fixed unique ID when the first tag is the ID-query
+//     marker;
+//  3. monitor its ports in hardware and flood hop-limited link-event
+//     notifications on state changes, with duplicate-alarm suppression.
+//
+// Nothing else: the switch keeps no forwarding state and needs no
+// configuration.
+package dswitch
+
+import (
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+)
+
+// Config tunes the (few) physical characteristics of a dumb switch.
+type Config struct {
+	// ForwardDelay is the per-hop pipeline latency (pop label + demux).
+	ForwardDelay sim.Time
+	// NotifyHops is the flood hop limit for link-event broadcasts
+	// (paper: "a max of 5 hops is often enough").
+	NotifyHops uint8
+	// SuppressWindow is the minimum spacing between repeated alarms for
+	// the same port (paper: "switches suppress alarms for 1 second").
+	SuppressWindow sim.Time
+	// ECNThreshold enables congestion marking (the §8 extension): frames
+	// transmitted onto a port whose queue backlog exceeds this delay get
+	// the CE flag — one constant-offset OR per frame, zero switch state.
+	// 0 disables marking.
+	ECNThreshold sim.Time
+}
+
+// DefaultConfig mirrors the paper's constants; forwarding latency matches a
+// shallow two-stage hardware pipeline.
+func DefaultConfig() Config {
+	return Config{
+		ForwardDelay:   500 * sim.Nanosecond,
+		NotifyHops:     5,
+		SuppressWindow: sim.Second,
+	}
+}
+
+// Stats counts what the switch did.
+type Stats struct {
+	Forwarded     uint64 // data frames forwarded by tag
+	IDReplies     uint64 // ID-query replies generated
+	FloodsIn      uint64 // link-event broadcasts received
+	FloodsOut     uint64 // link-event broadcast transmissions
+	DropNoPort    uint64 // tag named an unwired or out-of-range port
+	DropLinkDown  uint64 // tag named a port whose link is down
+	DropBadFrame  uint64 // unparseable frames
+	DropEndOfPath uint64 // ø reached a switch instead of a host
+	ECNMarked     uint64 // frames marked congestion-experienced
+	AlarmsSent    uint64 // port state alarms originated here
+	AlarmsSquelch uint64 // alarms suppressed by the per-port window
+}
+
+// Switch is one dumb switch instance.
+type Switch struct {
+	id    packet.SwitchID
+	eng   *sim.Engine
+	cfg   Config
+	links []*sim.Link // index 0 unused; ports are 1-based
+	up    []bool      // cached port state, updated by PortStateChanged
+
+	alarmSeq  uint64
+	lastAlarm []sim.Time // per-port time of last alarm sent (or -inf)
+
+	stats Stats
+}
+
+// New creates a switch with the given unique ID and port count.
+func New(eng *sim.Engine, id packet.SwitchID, ports int, cfg Config) *Switch {
+	s := &Switch{
+		id:        id,
+		eng:       eng,
+		cfg:       cfg,
+		links:     make([]*sim.Link, ports+1),
+		up:        make([]bool, ports+1),
+		lastAlarm: make([]sim.Time, ports+1),
+	}
+	for i := range s.lastAlarm {
+		s.lastAlarm[i] = -1 << 62
+	}
+	return s
+}
+
+// ID returns the switch's fixed unique identifier.
+func (s *Switch) ID() packet.SwitchID { return s.id }
+
+// Stats returns a copy of the counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// AttachLink wires a link to a local port. Called by fabric assembly.
+func (s *Switch) AttachLink(port int, l *sim.Link) {
+	s.links[port] = l
+	s.up[port] = l.Up()
+}
+
+// LinkAt returns the link on a port (nil if unwired).
+func (s *Switch) LinkAt(port int) *sim.Link {
+	if port < 1 || port >= len(s.links) {
+		return nil
+	}
+	return s.links[port]
+}
+
+// Ports returns the port count.
+func (s *Switch) Ports() int { return len(s.links) - 1 }
+
+// Receive implements sim.Node: the entire dataplane. Both DumbNet
+// encodings are forwarded — the native one-byte tag stack and the MPLS
+// label stack used on commodity switches (§5.3); a frame's EtherType
+// selects the pop stage, exactly as static MPLS label→port rules would.
+func (s *Switch) Receive(inPort int, frame []byte) {
+	if len(frame) >= packet.EthernetHeaderLen &&
+		EtherTypeOf(frame) == packet.EtherTypeMPLS {
+		s.receiveMPLS(frame)
+		return
+	}
+	tag, err := packet.TopTag(frame)
+	if err != nil {
+		s.stats.DropBadFrame++
+		return
+	}
+	switch tag {
+	case packet.TagEnd:
+		s.handleEndOfPath(inPort, frame)
+	case packet.TagIDQuery:
+		s.handleIDQuery(frame)
+	default:
+		s.forward(frame)
+	}
+}
+
+// receiveMPLS is the commodity-deployment pop stage: the top label is the
+// output port; the ID-query label is punted to the switch "CPU" like the
+// paper's UDP-based query handling.
+func (s *Switch) receiveMPLS(frame []byte) {
+	label, bottom, err := packet.TopLabelMPLS(frame)
+	if err != nil || bottom {
+		// ø at a switch: a misrouted frame in the MPLS encoding.
+		s.stats.DropEndOfPath++
+		return
+	}
+	if label == packet.TagIDQuery {
+		s.handleIDQueryMPLS(frame)
+		return
+	}
+	rest, tag, err := packet.PopLabelMPLS(frame)
+	if err != nil {
+		s.stats.DropBadFrame++
+		return
+	}
+	s.transmit(int(tag), rest, &s.stats.Forwarded)
+}
+
+// handleIDQueryMPLS answers an ID query carried in the MPLS encoding.
+func (s *Switch) handleIDQueryMPLS(frame []byte) {
+	f, err := packet.DecodeMPLS(frame)
+	if err != nil || len(f.Tags) < 2 {
+		s.stats.DropBadFrame++
+		return
+	}
+	var seq uint64
+	if t, msg, err := packet.DecodeControl(f.Payload); err == nil && t == packet.MsgProbe {
+		seq = msg.(*packet.Probe).Seq
+	}
+	body, err := packet.EncodeControl(packet.MsgIDReply, &packet.IDReply{ID: s.id, Seq: seq})
+	if err != nil {
+		s.stats.DropBadFrame++
+		return
+	}
+	returnPath := f.Tags[1:]
+	reply := &packet.Frame{
+		Dst:       f.Src,
+		Src:       f.Dst,
+		Tags:      returnPath[1:],
+		InnerType: packet.EtherTypeControl,
+		Payload:   body,
+	}
+	buf, err := reply.EncodeMPLS()
+	if err != nil {
+		s.stats.DropBadFrame++
+		return
+	}
+	s.transmit(int(returnPath[0]), buf, &s.stats.IDReplies)
+}
+
+// forward pops the top tag and transmits out that port after the pipeline
+// delay.
+func (s *Switch) forward(frame []byte) {
+	rest, tag, err := packet.PopTag(frame)
+	if err != nil {
+		s.stats.DropBadFrame++
+		return
+	}
+	s.transmit(int(tag), rest, &s.stats.Forwarded)
+}
+
+// transmit sends a frame out a port, counting okCounter on success.
+func (s *Switch) transmit(port int, frame []byte, okCounter *uint64) {
+	if port < 1 || port >= len(s.links) || s.links[port] == nil {
+		s.stats.DropNoPort++
+		return
+	}
+	l := s.links[port]
+	if !l.Up() {
+		s.stats.DropLinkDown++
+		return
+	}
+	if okCounter != nil {
+		*okCounter++
+	}
+	if s.cfg.ECNThreshold > 0 && l.Backlog(s) > s.cfg.ECNThreshold {
+		packet.MarkCE(frame)
+		s.stats.ECNMarked++
+	}
+	s.eng.After(s.cfg.ForwardDelay, func() { l.SendFrom(s, frame) })
+}
+
+// handleIDQuery implements the switch-CPU punt path: the tag stack after
+// the query marker is the return path. A probe payload gets the fixed-ID
+// reply with its sequence echoed; a stats request (the §8 extension) gets
+// the soft-state counter snapshot.
+func (s *Switch) handleIDQuery(frame []byte) {
+	f, err := packet.Decode(frame)
+	if err != nil || len(f.Tags) < 2 {
+		// Need at least the query marker plus one return hop.
+		s.stats.DropBadFrame++
+		return
+	}
+	var seq uint64
+	var body []byte
+	t, msg, derr := packet.DecodeControl(f.Payload)
+	if derr == nil && t == packet.MsgStatsRequest {
+		req := msg.(*packet.StatsRequest)
+		body, err = packet.EncodeControl(packet.MsgStatsReply, &packet.StatsReply{
+			ID:        s.id,
+			Seq:       req.Seq,
+			Forwarded: s.stats.Forwarded,
+			Dropped:   s.stats.DropNoPort + s.stats.DropLinkDown + s.stats.DropBadFrame + s.stats.DropEndOfPath,
+			Marked:    s.stats.ECNMarked,
+			Floods:    s.stats.FloodsOut,
+		})
+	} else {
+		if derr == nil && t == packet.MsgProbe {
+			seq = msg.(*packet.Probe).Seq
+		}
+		body, err = packet.EncodeControl(packet.MsgIDReply, &packet.IDReply{ID: s.id, Seq: seq})
+	}
+	if err != nil {
+		s.stats.DropBadFrame++
+		return
+	}
+	returnPath := f.Tags[1:] // drop the query marker
+	reply := &packet.Frame{
+		Dst:       f.Src,
+		Src:       f.Dst,
+		Tags:      returnPath[1:],
+		InnerType: packet.EtherTypeControl,
+		Payload:   body,
+	}
+	buf, err := reply.Encode()
+	if err != nil {
+		s.stats.DropBadFrame++
+		return
+	}
+	s.transmit(int(returnPath[0]), buf, &s.stats.IDReplies)
+}
+
+// handleEndOfPath processes frames whose path terminates at this switch.
+// The only legitimate case is a hop-limited link-event broadcast; anything
+// else is a misrouted data frame and is dropped.
+func (s *Switch) handleEndOfPath(inPort int, frame []byte) {
+	f, err := packet.Decode(frame)
+	if err != nil || f.InnerType != packet.EtherTypeControl {
+		s.stats.DropEndOfPath++
+		return
+	}
+	t, msg, err := packet.DecodeControl(f.Payload)
+	if err != nil || t != packet.MsgLinkEvent {
+		s.stats.DropEndOfPath++
+		return
+	}
+	ev := msg.(*packet.LinkEvent)
+	s.stats.FloodsIn++
+	if ev.HopsLeft == 0 {
+		return
+	}
+	ev.HopsLeft--
+	s.floodLinkEvent(ev, inPort)
+}
+
+// floodLinkEvent sends a link-event broadcast out every up port except
+// exceptPort (0 floods everywhere).
+func (s *Switch) floodLinkEvent(ev *packet.LinkEvent, exceptPort int) {
+	body, err := packet.EncodeControl(packet.MsgLinkEvent, ev)
+	if err != nil {
+		return
+	}
+	f := &packet.Frame{
+		Dst:       packet.BroadcastMAC,
+		Tags:      nil, // ø immediately: consumed by each receiver
+		InnerType: packet.EtherTypeControl,
+		Payload:   body,
+	}
+	for port := 1; port < len(s.links); port++ {
+		if port == exceptPort || s.links[port] == nil || !s.links[port].Up() {
+			continue
+		}
+		buf, err := f.Encode()
+		if err != nil {
+			return
+		}
+		s.transmit(port, buf, &s.stats.FloodsOut)
+	}
+}
+
+// PortStateChanged implements sim.PortMonitor: the hardware link signal.
+// The switch originates a hop-limited link-event flood, suppressing
+// duplicate alarms within the configured window (flapping links).
+func (s *Switch) PortStateChanged(port int, up bool) {
+	if port >= 1 && port < len(s.up) {
+		s.up[port] = up
+	}
+	now := s.eng.Now()
+	if now-s.lastAlarm[port] < s.cfg.SuppressWindow {
+		s.stats.AlarmsSquelch++
+		return
+	}
+	s.lastAlarm[port] = now
+	s.alarmSeq++
+	s.stats.AlarmsSent++
+	ev := &packet.LinkEvent{
+		Switch:   s.id,
+		Port:     packet.Tag(port),
+		Up:       up,
+		Seq:      s.alarmSeq,
+		HopsLeft: s.cfg.NotifyHops,
+	}
+	s.floodLinkEvent(ev, 0)
+}

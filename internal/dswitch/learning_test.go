@@ -1,0 +1,225 @@
+package dswitch_test
+
+import (
+	"testing"
+
+	"dumbnet/internal/dswitch"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+)
+
+// rawFrame builds a plain Ethernet frame.
+func rawFrame(dst, src packet.MAC, payload string) []byte {
+	buf := make([]byte, 14+len(payload))
+	copy(buf[0:6], dst[:])
+	copy(buf[6:12], src[:])
+	buf[12], buf[13] = 0x08, 0x00
+	copy(buf[14:], payload)
+	return buf
+}
+
+// buildLearningPair wires h1 - sw - h2.
+func buildLearningPair(t *testing.T) (*sim.Engine, *dswitch.LearningSwitch, *testHost, *testHost, packet.MAC, packet.MAC) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	sw := dswitch.NewLearning(eng, 1, 4, sim.Microsecond)
+	h1, h2 := &testHost{}, &testHost{}
+	l1 := sim.NewLink(eng, sw, 1, h1, 1, sim.LinkConfig{})
+	l2 := sim.NewLink(eng, sw, 2, h2, 1, sim.LinkConfig{})
+	sw.AttachLink(1, l1)
+	sw.AttachLink(2, l2)
+	h1.link, h2.link = l1, l2
+	m1, m2 := packet.MACFromUint64(1), packet.MACFromUint64(2)
+	return eng, sw, h1, h2, m1, m2
+}
+
+func TestLearningFloodThenForward(t *testing.T) {
+	eng, sw, h1, h2, m1, m2 := buildLearningPair(t)
+	// First frame to unknown m2: flooded (h2 gets it).
+	h1.send(rawFrame(m2, m1, "one"))
+	eng.Run()
+	if len(h2.frames) != 1 {
+		t.Fatalf("h2 frames = %d", len(h2.frames))
+	}
+	if sw.Stats().Flooded == 0 {
+		t.Fatal("first frame should flood")
+	}
+	// Reply teaches the switch where m2 lives.
+	h2.send(rawFrame(m1, m2, "two"))
+	eng.Run()
+	if len(h1.frames) != 1 {
+		t.Fatalf("h1 frames = %d", len(h1.frames))
+	}
+	// Now h1->m2 is unicast-forwarded, not flooded.
+	before := sw.Stats().Flooded
+	h1.send(rawFrame(m2, m1, "three"))
+	eng.Run()
+	if sw.Stats().Flooded != before {
+		t.Fatal("known destination should not flood")
+	}
+	if len(h2.frames) != 2 {
+		t.Fatalf("h2 frames = %d", len(h2.frames))
+	}
+}
+
+func TestLearningBroadcast(t *testing.T) {
+	eng, _, h1, h2, m1, _ := buildLearningPair(t)
+	h1.send(rawFrame(packet.BroadcastMAC, m1, "bcast"))
+	eng.Run()
+	if len(h2.frames) != 1 {
+		t.Fatalf("h2 frames = %d", len(h2.frames))
+	}
+	if len(h1.frames) != 0 {
+		t.Fatal("broadcast echoed to sender")
+	}
+}
+
+func TestLearningBlockedPort(t *testing.T) {
+	eng, sw, h1, h2, m1, m2 := buildLearningPair(t)
+	sw.SetBlocked(2, true)
+	h1.send(rawFrame(m2, m1, "x"))
+	eng.Run()
+	if len(h2.frames) != 0 {
+		t.Fatal("frame crossed a blocked port")
+	}
+	// Ingress on a blocked port is dropped too.
+	h2.send(rawFrame(m1, m2, "y"))
+	eng.Run()
+	if len(h1.frames) != 0 {
+		t.Fatal("frame accepted from a blocked port")
+	}
+	sw.SetBlocked(2, false)
+	h1.send(rawFrame(m2, m1, "z"))
+	eng.Run()
+	if len(h2.frames) != 1 {
+		t.Fatal("unblocked port should deliver")
+	}
+	if !sw.Blocked(0) == false {
+		t.Fatal("out-of-range port should not be blocked")
+	}
+}
+
+func TestLearningTableFlushOnPortChange(t *testing.T) {
+	eng, sw, h1, h2, m1, m2 := buildLearningPair(t)
+	h1.send(rawFrame(m2, m1, "learn-src"))
+	h2.send(rawFrame(m1, m2, "learn-src-2"))
+	eng.Run()
+	learned := sw.Stats().Learned
+	if learned < 2 {
+		t.Fatalf("learned = %d", learned)
+	}
+	// Port flap flushes the table: next send floods again.
+	sw.PortStateChanged(2, false)
+	sw.PortStateChanged(2, true)
+	before := sw.Stats().Flooded
+	h1.send(rawFrame(m2, m1, "after-flush"))
+	eng.Run()
+	if sw.Stats().Flooded == before {
+		t.Fatal("table should be flushed after port change")
+	}
+}
+
+func TestLearningMonitorCallback(t *testing.T) {
+	_, sw, _, _, _, _ := buildLearningPair(t)
+	var events []bool
+	sw.SetMonitor(func(port int, up bool) { events = append(events, up) })
+	sw.PortStateChanged(1, false)
+	sw.PortStateChanged(1, true)
+	if len(events) != 2 || events[0] != false || events[1] != true {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestLearningShortFrameDropped(t *testing.T) {
+	eng, sw, h1, _, _, _ := buildLearningPair(t)
+	h1.send([]byte{1, 2, 3})
+	eng.Run()
+	if sw.Stats().Dropped != 1 {
+		t.Fatalf("stats = %+v", sw.Stats())
+	}
+}
+
+func TestEtherTypeOf(t *testing.T) {
+	f := rawFrame(packet.MACFromUint64(1), packet.MACFromUint64(2), "p")
+	if dswitch.EtherTypeOf(f) != 0x0800 {
+		t.Fatalf("ethertype = %#x", dswitch.EtherTypeOf(f))
+	}
+	if dswitch.EtherTypeOf([]byte{1}) != 0 {
+		t.Fatal("short frame should yield 0")
+	}
+}
+
+func TestLearningAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := dswitch.NewLearning(eng, 9, 4, 0)
+	if sw.ID() != 9 || sw.Ports() != 4 {
+		t.Fatalf("id=%d ports=%d", sw.ID(), sw.Ports())
+	}
+	if sw.LinkAt(0) != nil || sw.LinkAt(5) != nil {
+		t.Fatal("bad LinkAt")
+	}
+	sw.FlushTable() // must not panic on empty
+}
+
+// Incremental deployment (§5.3): one commodity switch carries DumbNet
+// MPLS-label traffic via static rules AND ordinary learned Ethernet at the
+// same time.
+func TestLearningSwitchWithMPLSRules(t *testing.T) {
+	eng, sw, h1, h2, m1, m2 := buildLearningPair(t)
+	sw.EnableMPLS()
+
+	// DumbNet frame: source-routed straight out port 2 — no learning, no
+	// flooding, regardless of MAC tables.
+	dn := &packet.Frame{Dst: m2, Src: m1, Tags: packet.Path{2}, InnerType: packet.EtherTypeIPv4, Payload: []byte("tagged")}
+	buf, err := dn.EncodeMPLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.send(buf)
+	eng.Run()
+	if len(h2.frames) != 1 {
+		t.Fatalf("MPLS frame not forwarded: %d", len(h2.frames))
+	}
+	got, err := packet.DecodeMPLS(h2.frames[0])
+	if err != nil || string(got.Payload) != "tagged" {
+		t.Fatalf("payload: %v %v", got, err)
+	}
+	if sw.Stats().Flooded != 0 {
+		t.Fatal("MPLS frame was flooded instead of label-switched")
+	}
+
+	// Ordinary Ethernet continues to learn and flood as usual.
+	h1.send(rawFrame(m2, m1, "legacy"))
+	eng.Run()
+	if len(h2.frames) != 2 {
+		t.Fatal("legacy Ethernet frame lost")
+	}
+	if sw.Stats().Flooded == 0 {
+		t.Fatal("legacy frame should flood on first sight")
+	}
+
+	// A DumbNet frame whose path ends here (ø at switch) is dropped.
+	end := &packet.Frame{Dst: m2, Src: m1, InnerType: packet.EtherTypeIPv4, Payload: []byte("x")}
+	buf, _ = end.EncodeMPLS()
+	drops := sw.Stats().Dropped
+	h1.send(buf)
+	eng.Run()
+	if sw.Stats().Dropped != drops+1 {
+		t.Fatal("ø-at-switch MPLS frame not dropped")
+	}
+}
+
+// Without the static rules, an MPLS frame is just an unknown-unicast
+// Ethernet frame: flooded, not label-switched.
+func TestLearningSwitchWithoutMPLSRulesFloods(t *testing.T) {
+	eng, sw, h1, h2, m1, m2 := buildLearningPair(t)
+	dn := &packet.Frame{Dst: m2, Src: m1, Tags: packet.Path{3}, InnerType: packet.EtherTypeIPv4}
+	buf, _ := dn.EncodeMPLS()
+	h1.send(buf)
+	eng.Run()
+	// Port 3 is unwired; flooding delivers it out port 2 to h2 anyway.
+	if sw.Stats().Flooded == 0 {
+		t.Fatal("frame should have been flooded")
+	}
+	_ = h2
+}

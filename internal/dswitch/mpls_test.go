@@ -1,0 +1,101 @@
+package dswitch_test
+
+import (
+	"testing"
+
+	"dumbnet/internal/packet"
+)
+
+// The MPLS dataplane: the same fabric must forward label-stack frames (the
+// commodity-switch deployment of §5.3) interchangeably with native tags.
+
+func TestMPLSForwardingAcrossFabric(t *testing.T) {
+	eng, fb, h1, h2, m1, m2 := buildLine(t)
+	f := &packet.Frame{
+		Dst: m2, Src: m1,
+		Tags:      packet.Path{2, 2, 3},
+		InnerType: packet.EtherTypeIPv4,
+		Payload:   []byte("labeled"),
+	}
+	buf, err := f.EncodeMPLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.send(buf)
+	eng.Run()
+	if len(h2.frames) != 1 {
+		t.Fatalf("h2 received %d frames", len(h2.frames))
+	}
+	got, err := packet.DecodeMPLS(h2.frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "labeled" || len(got.Tags) != 0 {
+		t.Fatalf("frame corrupted: %+v", got)
+	}
+	for _, id := range []packet.SwitchID{1, 2, 3} {
+		if fwd := fb.Switch(id).Stats().Forwarded; fwd != 1 {
+			t.Fatalf("switch %d forwarded %d", id, fwd)
+		}
+	}
+}
+
+func TestMPLSIDQuery(t *testing.T) {
+	eng, _, h1, _, m1, _ := buildLine(t)
+	body, _ := packet.EncodeControl(packet.MsgProbe, &packet.Probe{Origin: m1, Seq: 9, Path: packet.Path{0, 3}})
+	f := &packet.Frame{
+		Dst: packet.BroadcastMAC, Src: m1,
+		Tags:      packet.Path{0, 3},
+		InnerType: packet.EtherTypeControl,
+		Payload:   body,
+	}
+	buf, _ := f.EncodeMPLS()
+	h1.send(buf)
+	eng.Run()
+	if len(h1.frames) != 1 {
+		t.Fatalf("received %d frames", len(h1.frames))
+	}
+	got, err := packet.DecodeMPLS(h1.frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, msg, err := packet.DecodeControl(got.Payload)
+	if err != nil || typ != packet.MsgIDReply {
+		t.Fatalf("reply: %v %v", typ, err)
+	}
+	if rep := msg.(*packet.IDReply); rep.ID != 1 || rep.Seq != 9 {
+		t.Fatalf("reply = %+v", rep)
+	}
+}
+
+func TestMPLSMisroutedFrameDropped(t *testing.T) {
+	eng, fb, h1, _, m1, m2 := buildLine(t)
+	// Path ends at a switch (ø at switch) in the MPLS encoding.
+	f := &packet.Frame{Dst: m2, Src: m1, Tags: nil, InnerType: packet.EtherTypeIPv4, Payload: []byte("x")}
+	buf, _ := f.EncodeMPLS()
+	h1.send(buf)
+	eng.Run()
+	if fb.Switch(1).Stats().DropEndOfPath != 1 {
+		t.Fatalf("stats = %+v", fb.Switch(1).Stats())
+	}
+}
+
+func TestMixedEncodingsCoexist(t *testing.T) {
+	// Native and MPLS frames interleave on the same fabric — the paper's
+	// incremental-deployment story.
+	eng, _, h1, h2, m1, m2 := buildLine(t)
+	for i := 0; i < 4; i++ {
+		f := &packet.Frame{Dst: m2, Src: m1, Tags: packet.Path{2, 2, 3}, InnerType: packet.EtherTypeIPv4, Payload: []byte{byte(i)}}
+		var buf []byte
+		if i%2 == 0 {
+			buf, _ = f.Encode()
+		} else {
+			buf, _ = f.EncodeMPLS()
+		}
+		h1.send(buf)
+	}
+	eng.Run()
+	if len(h2.frames) != 4 {
+		t.Fatalf("delivered %d of 4", len(h2.frames))
+	}
+}

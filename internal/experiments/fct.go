@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dumbnet/internal/flowsim"
+	"dumbnet/internal/metrics"
+	"dumbnet/internal/workload"
+)
+
+// FlowCompletionTimes extends Fig 13 with the literature-standard FCT
+// experiment: Poisson flow arrivals drawn from an empirical size
+// distribution on the testbed-shaped leaf-spine, comparing the same three
+// routing policies. Reported as slowdown — FCT normalized by the flow's
+// ideal (unloaded) transfer time — mean and p99, split by flow size class.
+func FlowCompletionTimes(load float64, horizon float64, dist *workload.SizeDist, seed int64) (*Result, error) {
+	if load <= 0 {
+		load = 0.5
+	}
+	if horizon <= 0 {
+		horizon = 2
+	}
+	if dist == nil {
+		dist = workload.WebSearchDist()
+	}
+	const (
+		spines, leaves, hostsPerLeaf = 2, 5, 5
+		hostBps                      = 10e9
+		spineBps                     = 10e9
+	)
+	hosts := leaves * hostsPerLeaf
+	trace := workload.RandomFlowTrace(hosts, hostBps, load, horizon, dist, seed)
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("experiments: empty trace")
+	}
+
+	type policyRun struct {
+		name  string
+		route func(ls *workload.LeafSpineNet) workload.RouteFunc
+	}
+	policies := []policyRun{
+		{"DumbNet (flowlet)", func(ls *workload.LeafSpineNet) workload.RouteFunc { return ls.FlowletPolicy() }},
+		{"single path", func(ls *workload.LeafSpineNet) workload.RouteFunc { return ls.SinglePathPolicy() }},
+		{"ECMP", func(ls *workload.LeafSpineNet) workload.RouteFunc {
+			return ls.ECMPPolicy(rand.New(rand.NewSource(seed + 7)))
+		}},
+	}
+
+	type fctStats struct {
+		meanAll, p99All    float64
+		meanSmall, meanBig float64
+	}
+	stats := map[string]fctStats{}
+	for _, p := range policies {
+		ls := workload.NewLeafSpine(spines, leaves, hostsPerLeaf, hostBps, spineBps)
+		s := flowsim.NewSimulator(ls.Net)
+		route := p.route(ls)
+		flows := make([]*flowsim.Flow, len(trace))
+		for i, tf := range trace {
+			flows[i] = &flowsim.Flow{
+				ID:    i + 1,
+				Path:  route(tf.Src, tf.Dst, i),
+				Size:  tf.Bytes * 8,
+				Start: tf.Start,
+			}
+			s.Add(flows[i])
+		}
+		s.Run()
+		all := &metrics.Dist{}
+		small := &metrics.Dist{}
+		big := &metrics.Dist{}
+		for i, f := range flows {
+			if !f.Finished {
+				return nil, fmt.Errorf("experiments: %s left flow %d unfinished", p.name, f.ID)
+			}
+			ideal := trace[i].Bytes * 8 / hostBps
+			slowdown := f.Duration() / ideal
+			all.Add(slowdown)
+			if trace[i].Bytes < 100e3 {
+				small.Add(slowdown)
+			} else {
+				big.Add(slowdown)
+			}
+		}
+		stats[p.name] = fctStats{
+			meanAll: all.Mean(), p99All: all.Percentile(99),
+			meanSmall: small.Mean(), meanBig: big.Mean(),
+		}
+	}
+
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Flow completion slowdown: %s traffic, %.0f%% load, %d flows",
+			dist.Name, load*100, len(trace)),
+		"policy", "mean", "p99", "mean (<100KB)", "mean (>100KB)")
+	for _, p := range policies {
+		st := stats[p.name]
+		tbl.AddRow(p.name, st.meanAll, st.p99All, st.meanSmall, st.meanBig)
+	}
+	res := &Result{Name: "FCT — flow completion times under realistic traffic (extension)", Table: tbl}
+	fl := stats["DumbNet (flowlet)"]
+	sp := stats["single path"]
+	ec := stats["ECMP"]
+	res.Checks = append(res.Checks,
+		Check{
+			Claim: "flowlet routing beats single-path on mean slowdown",
+			Pass:  fl.meanAll < sp.meanAll,
+			Got:   fmt.Sprintf("flowlet %.2f vs single %.2f", fl.meanAll, sp.meanAll),
+		},
+		Check{
+			Claim: "flowlet is comparable to ECMP at the tail (both far below single-path)",
+			Pass:  fl.p99All <= ec.p99All*1.25 && fl.p99All < sp.p99All/2,
+			Got: fmt.Sprintf("p99 flowlet %.2f vs ecmp %.2f vs single %.2f",
+				fl.p99All, ec.p99All, sp.p99All),
+		},
+	)
+	return res, nil
+}

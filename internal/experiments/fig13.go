@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dumbnet/internal/metrics"
+	"dumbnet/internal/workload"
+)
+
+// Figure 13 — HiBench task durations on the testbed topology with the
+// spine links capped at 500 Mbps, comparing full DumbNet (flowlet TE),
+// DumbNet restricted to a single path, and the conventional no-op DPDK
+// network (per-flow ECMP). The paper finds DumbNet fastest on every task,
+// with the single-path variant much worse on shuffle-heavy jobs — flowlet
+// TE spreads each flowlet over the k cached paths, evening out link load.
+//
+// The jobs run as flow-level DAGs (the five HiBench communication
+// patterns) on a max-min fair model of the leaf-spine fabric.
+
+// Fig13Config tunes the macro-benchmark.
+type Fig13Config struct {
+	Spines, Leaves, HostsPerLeaf int
+	HostBps, SpineBps            float64
+	InputGB                      float64
+	Seed                         int64
+}
+
+// DefaultFig13Config mirrors the paper: the 2×5 leaf-spine testbed with 25
+// workers and 500 Mbps spine ports.
+func DefaultFig13Config() Fig13Config {
+	return Fig13Config{
+		Spines: 2, Leaves: 5, HostsPerLeaf: 5,
+		HostBps: 10e9, SpineBps: 0.5e9,
+		InputGB: 2,
+		Seed:    1,
+	}
+}
+
+// Fig13 runs the suite under the three policies.
+func Fig13(cfg Fig13Config) (*Result, error) {
+	workers := cfg.Leaves * cfg.HostsPerLeaf
+	jobs := workload.HiBenchSuite(workers, cfg.InputGB)
+
+	type policy struct {
+		name  string
+		route func(ls *workload.LeafSpineNet) workload.RouteFunc
+	}
+	policies := []policy{
+		{"DumbNet", func(ls *workload.LeafSpineNet) workload.RouteFunc { return ls.FlowletPolicy() }},
+		{"DumbNet single path", func(ls *workload.LeafSpineNet) workload.RouteFunc { return ls.SinglePathPolicy() }},
+		{"No-op DPDK (ECMP)", func(ls *workload.LeafSpineNet) workload.RouteFunc {
+			return ls.ECMPPolicy(rand.New(rand.NewSource(cfg.Seed)))
+		}},
+	}
+
+	durations := make(map[string]map[string]float64) // policy -> job -> secs
+	for _, p := range policies {
+		durations[p.name] = make(map[string]float64)
+		for _, job := range jobs {
+			ls := workload.NewLeafSpine(cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf, cfg.HostBps, cfg.SpineBps)
+			dur, err := workload.RunJob(job, ls.Net, p.route(ls))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", p.name, job.Name, err)
+			}
+			durations[p.name][job.Name] = dur
+		}
+	}
+
+	tbl := metrics.NewTable("Figure 13: HiBench task durations (s)",
+		"task", "DumbNet", "DumbNet single path", "No-op DPDK (ECMP)")
+	for _, job := range jobs {
+		tbl.AddRow(job.Name,
+			durations["DumbNet"][job.Name],
+			durations["DumbNet single path"][job.Name],
+			durations["No-op DPDK (ECMP)"][job.Name])
+	}
+	res := &Result{Name: "Figure 13 — HiBench macro-benchmark", Table: tbl}
+
+	allFaster := true
+	singleWorst := true
+	var worstSingleGap float64
+	for _, job := range jobs {
+		d := durations["DumbNet"][job.Name]
+		s := durations["DumbNet single path"][job.Name]
+		e := durations["No-op DPDK (ECMP)"][job.Name]
+		if d > e+1e-9 {
+			allFaster = false
+		}
+		if s < e-1e-9 {
+			singleWorst = false
+		}
+		if gap := s / d; gap > worstSingleGap {
+			worstSingleGap = gap
+		}
+	}
+	res.Checks = append(res.Checks,
+		Check{
+			Claim: "DumbNet (flowlet TE) outperforms the conventional network on every task",
+			Pass:  allFaster,
+			Got:   "all five jobs",
+		},
+		Check{
+			Claim: "single-path DumbNet is the slowest configuration",
+			Pass:  singleWorst,
+			Got:   fmt.Sprintf("worst single-path slowdown %.1fx vs flowlet", worstSingleGap),
+		},
+	)
+	return res, nil
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dumbnet/internal/controller"
+	"dumbnet/internal/host"
+	"dumbnet/internal/metrics"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// Figure 8 — topology discovery time. The controller's packet processing
+// rate bounds discovery (§7.2.1), so the experiments run the real BFS
+// discovery algorithm over the OracleTransport, which charges the same
+// per-probe controller CPU cost as the fabric transport without paying for
+// per-hop event simulation. ProbeSendCost is calibrated so the paper's
+// anchor — ~70 s for 500 64-port switches — holds; everything else (the
+// linear growth in switch count, the quadratic growth in port count, the
+// insensitivity to controller placement) is produced by the algorithm
+// itself.
+
+// discoveryScenario describes one sweep point.
+type discoveryScenario struct {
+	label     string
+	build     func() (*topo.Topology, packet.MAC, error)
+	nSwitches int
+}
+
+// runDiscovery runs one discovery to completion and returns virtual time
+// and probe count.
+func runDiscovery(t *topo.Topology, ctrlHost packet.MAC, maxPorts int) (sim.Time, uint64, error) {
+	eng := sim.NewEngine(1)
+	agent := host.New(eng, ctrlHost, host.DefaultConfig())
+	cfg := controller.DefaultConfig()
+	cfg.Discovery.MaxPorts = maxPorts
+	c := controller.New(eng, agent, cfg)
+	tr := controller.NewOracleTransport(eng, t, ctrlHost, cfg.Discovery)
+	var report controller.DiscoveryReport
+	var derr error
+	done := false
+	c.Discover(tr, func(r controller.DiscoveryReport, err error) { report, derr, done = r, err, true })
+	eng.Run()
+	if !done {
+		return 0, 0, fmt.Errorf("experiments: discovery incomplete")
+	}
+	if derr != nil {
+		return 0, 0, derr
+	}
+	if err := sameStructure(c.Master(), t); err != nil {
+		return 0, 0, fmt.Errorf("experiments: discovery result wrong: %w", err)
+	}
+	return report.Duration, report.Probes, nil
+}
+
+// sameStructure verifies switch and link sets match (port counts aside).
+func sameStructure(a, b *topo.Topology) error {
+	if a.NumSwitches() != b.NumSwitches() {
+		return fmt.Errorf("switches %d vs %d", a.NumSwitches(), b.NumSwitches())
+	}
+	if a.NumLinks() != b.NumLinks() {
+		return fmt.Errorf("links %d vs %d", a.NumLinks(), b.NumLinks())
+	}
+	return nil
+}
+
+// ctrlMAC is the dedicated controller host attached for discovery sweeps —
+// a byte pattern the topology generators never assign.
+var ctrlMAC = packet.MAC{0x02, 0xC0, 0xFF, 0xEE, 0x00, 0x01}
+
+// fatTreeScenario builds a fat-tree with the controller on an edge switch
+// ("in the leaf of the fat-tree").
+func fatTreeScenario(k int) discoveryScenario {
+	return discoveryScenario{
+		label:     fmt.Sprintf("fat-tree k=%d", k),
+		nSwitches: 5 * k * k / 4,
+		build: func() (*topo.Topology, packet.MAC, error) {
+			t, err := topo.FatTree(k, 0, 64)
+			if err != nil {
+				return nil, packet.MAC{}, err
+			}
+			ids := t.SwitchIDs()
+			edge := ids[len(ids)-1] // edge switches carry the highest IDs
+			// Ports 1..k/2 hold hosts and k/2+1..k the uplinks; the
+			// controller takes the last spare port.
+			if err := t.AttachHost(ctrlMAC, edge, 64); err != nil {
+				return nil, packet.MAC{}, err
+			}
+			return t, ctrlMAC, nil
+		},
+	}
+}
+
+// cubeScenario builds an n³ cube with the controller at a corner or center.
+func cubeScenario(n int, center bool) discoveryScenario {
+	pos := "corner"
+	if center {
+		pos = "center"
+	}
+	return discoveryScenario{
+		label:     fmt.Sprintf("cube %d³ (%s)", n, pos),
+		nSwitches: n * n * n,
+		build: func() (*topo.Topology, packet.MAC, error) {
+			t, err := topo.Cube(n, 0, 64)
+			if err != nil {
+				return nil, packet.MAC{}, err
+			}
+			sw := topo.SwitchID(1)
+			if center {
+				mid := n / 2
+				sw = topo.SwitchID(mid*n*n + mid*n + mid + 1)
+			}
+			if err := t.AttachHost(ctrlMAC, sw, 7); err != nil { // first free port after the 6 cube links
+				return nil, packet.MAC{}, err
+			}
+			return t, ctrlMAC, nil
+		},
+	}
+}
+
+// Fig8a sweeps network size for the three scenario families. quick limits
+// the sweep to small sizes for CI-speed runs.
+func Fig8a(quick bool) (*Result, error) {
+	fatKs := []int{8, 12, 16, 20}  // 80..500 switches
+	cubeNs := []int{4, 5, 6, 7, 8} // 64..512 switches
+	if quick {
+		fatKs = []int{4, 8}
+		cubeNs = []int{3, 4}
+	}
+	tbl := metrics.NewTable("Figure 8(a): discovery time vs network size (64-port switches)",
+		"scenario", "switches", "probes", "time (s)")
+	type point struct {
+		n    int
+		secs float64
+	}
+	series := map[string][]point{}
+	add := func(family string, sc discoveryScenario) error {
+		t, ctrl, err := sc.build()
+		if err != nil {
+			return err
+		}
+		dur, probes, err := runDiscovery(t, ctrl, 64)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.label, err)
+		}
+		tbl.AddRow(sc.label, sc.nSwitches, int(probes), dur.Seconds())
+		series[family] = append(series[family], point{n: sc.nSwitches, secs: dur.Seconds()})
+		return nil
+	}
+	for _, k := range fatKs {
+		if err := add("fattree", fatTreeScenario(k)); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range cubeNs {
+		if err := add("cube-corner", cubeScenario(n, false)); err != nil {
+			return nil, err
+		}
+		if err := add("cube-center", cubeScenario(n, true)); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Name: "Figure 8(a) — discovery time vs network size", Table: tbl}
+	// Shape checks: roughly linear in switch count; placement irrelevant;
+	// the 500-switch anchor near the paper's 70 s.
+	linear := true
+	for _, pts := range series {
+		for i := 1; i < len(pts); i++ {
+			ratioN := float64(pts[i].n) / float64(pts[i-1].n)
+			ratioT := pts[i].secs / pts[i-1].secs
+			if ratioT > ratioN*1.6 || ratioT < ratioN/1.6 {
+				linear = false
+			}
+		}
+	}
+	res.Checks = append(res.Checks, Check{
+		Claim: "time grows roughly linearly with switch count",
+		Pass:  linear,
+		Got:   "all consecutive sweep ratios within 1.6x of proportional",
+	})
+	cc := series["cube-corner"]
+	ce := series["cube-center"]
+	if len(cc) > 0 && len(ce) > 0 {
+		last := len(cc) - 1
+		rel := cc[last].secs / ce[last].secs
+		res.Checks = append(res.Checks, Check{
+			Claim: "controller placement (corner vs center) barely matters",
+			Pass:  rel > 0.8 && rel < 1.25,
+			Got:   fmt.Sprintf("corner/center = %.2f", rel),
+		})
+	}
+	if !quick {
+		ft := series["fattree"]
+		anchor := ft[len(ft)-1]
+		res.Checks = append(res.Checks, Check{
+			Claim: "500 64-port switches discovered within ~70s (paper's anchor)",
+			Pass:  anchor.n == 500 && anchor.secs > 35 && anchor.secs < 140,
+			Got:   fmt.Sprintf("%d switches in %.1fs", anchor.n, anchor.secs),
+		})
+	}
+	return res, nil
+}
+
+// Fig8b holds the topology fixed (8³ cube) and sweeps per-switch port
+// count; the probe count — and thus time — grows quadratically (O(N·P²)).
+func Fig8b(quick bool) (*Result, error) {
+	side := 8
+	ports := []int{8, 16, 32, 48, 64, 80, 96, 112}
+	if quick {
+		side = 4
+		ports = []int{8, 16, 32}
+	}
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Figure 8(b): discovery time vs per-switch port count (%d³ cube, links fixed)", side),
+		"ports", "probes", "time (s)")
+	type point struct {
+		p    int
+		secs float64
+	}
+	var pts []point
+	for _, p := range ports {
+		t, err := topo.Cube(side, 0, 128)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AttachHost(ctrlMAC, 1, 7); err != nil {
+			return nil, err
+		}
+		dur, probes, err := runDiscovery(t, ctrlMAC, p)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(p, int(probes), dur.Seconds())
+		pts = append(pts, point{p: p, secs: dur.Seconds()})
+	}
+	res := &Result{Name: "Figure 8(b) — discovery time vs port density", Table: tbl}
+	// Quadratic trend: t(2P)/t(P) ≈ 4.
+	quad := true
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[j].p == 2*pts[i].p {
+				r := pts[j].secs / pts[i].secs
+				if r < 2.4 || r > 6 {
+					quad = false
+				}
+			}
+		}
+	}
+	res.Checks = append(res.Checks, Check{
+		Claim: "time follows a quadratic trend in port count (O(N·P²) probes)",
+		Pass:  quad,
+		Got:   "doubling ports multiplies time by ~4",
+	})
+	return res, nil
+}

@@ -1,0 +1,166 @@
+// Package fabric assembles a topo.Topology into a running simulated network:
+// one dumb switch per topology switch, one sim.Link per wire, and attachment
+// points for host nodes. It is the glue between the static graph model and
+// the discrete-event substrate.
+package fabric
+
+import (
+	"dumbnet/internal/dswitch"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// Config sets the physical parameters of the fabric.
+type Config struct {
+	// Switch configures every dumb switch.
+	Switch dswitch.Config
+	// SwitchLink configures switch-to-switch links.
+	SwitchLink sim.LinkConfig
+	// HostLink configures host-to-switch links.
+	HostLink sim.LinkConfig
+}
+
+// DefaultConfig models the paper's testbed: 10 GbE links with sub-µs
+// propagation delay.
+func DefaultConfig() Config {
+	return Config{
+		Switch: dswitch.DefaultConfig(),
+		SwitchLink: sim.LinkConfig{
+			PropDelay:    500 * sim.Nanosecond,
+			BandwidthBps: 10e9,
+		},
+		HostLink: sim.LinkConfig{
+			PropDelay:    500 * sim.Nanosecond,
+			BandwidthBps: 10e9,
+		},
+	}
+}
+
+// linkKey identifies a switch-to-switch link by its lower endpoint first.
+type linkKey struct {
+	a  packet.SwitchID
+	ap topo.Port
+}
+
+// Fabric is a live simulated network.
+type Fabric struct {
+	Eng      *sim.Engine
+	Topo     *topo.Topology
+	cfg      Config
+	switches map[packet.SwitchID]*dswitch.Switch
+	links    map[linkKey]*sim.Link
+	hostLink map[packet.MAC]*sim.Link
+}
+
+// Build instantiates switches and switch-to-switch links for t. Host nodes
+// are attached afterwards with AttachHost. The topology is retained (not
+// copied): later topology mutations do not affect the running fabric.
+func Build(eng *sim.Engine, t *topo.Topology, cfg Config) (*Fabric, error) {
+	f := &Fabric{
+		Eng:      eng,
+		Topo:     t,
+		cfg:      cfg,
+		switches: make(map[packet.SwitchID]*dswitch.Switch),
+		links:    make(map[linkKey]*sim.Link),
+		hostLink: make(map[packet.MAC]*sim.Link),
+	}
+	for _, id := range t.SwitchIDs() {
+		ports, err := t.PortCount(id)
+		if err != nil {
+			return nil, err
+		}
+		f.switches[id] = dswitch.New(eng, id, ports, cfg.Switch)
+	}
+	for _, id := range t.SwitchIDs() {
+		sw := f.switches[id]
+		for _, nb := range t.Neighbors(id) {
+			if nb.Sw < id {
+				continue // wired from the other side
+			}
+			far := f.switches[nb.Sw]
+			farPort, err := t.PortToward(nb.Sw, id)
+			if err != nil {
+				return nil, err
+			}
+			l := sim.NewLink(eng, sw, int(nb.Port), far, int(farPort), cfg.SwitchLink)
+			sw.AttachLink(int(nb.Port), l)
+			far.AttachLink(int(farPort), l)
+			// Keyed from the lower-ID side (id < nb.Sw here).
+			f.links[linkKey{a: id, ap: nb.Port}] = l
+		}
+	}
+	return f, nil
+}
+
+// Switch returns the live switch instance for an ID.
+func (f *Fabric) Switch(id packet.SwitchID) *dswitch.Switch { return f.switches[id] }
+
+// AttachHost wires a host node at its attachment point recorded in the
+// topology, returning the host's uplink.
+func (f *Fabric) AttachHost(mac packet.MAC, node sim.Node) (*sim.Link, error) {
+	at, err := f.Topo.HostAt(mac)
+	if err != nil {
+		return nil, err
+	}
+	sw, ok := f.switches[at.Switch]
+	if !ok {
+		return nil, topo.ErrNoSwitch
+	}
+	l := sim.NewLink(f.Eng, sw, int(at.Port), node, 1, f.cfg.HostLink)
+	sw.AttachLink(int(at.Port), l)
+	f.hostLink[mac] = l
+	return l, nil
+}
+
+// HostLink returns a host's uplink.
+func (f *Fabric) HostLink(mac packet.MAC) *sim.Link { return f.hostLink[mac] }
+
+// LinkBetween returns the link connecting two adjacent switches.
+func (f *Fabric) LinkBetween(a, b packet.SwitchID) (*sim.Link, error) {
+	pa, err := f.Topo.PortToward(a, b)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := f.Topo.PortToward(b, a)
+	if err != nil {
+		return nil, err
+	}
+	key := linkKey{a: a, ap: pa}
+	if b < a {
+		key = linkKey{a: b, ap: pb}
+	}
+	if l, ok := f.links[key]; ok {
+		return l, nil
+	}
+	return nil, topo.ErrNoLink
+}
+
+// FailLink injects a failure on the link between two adjacent switches.
+func (f *Fabric) FailLink(a, b packet.SwitchID) error {
+	l, err := f.LinkBetween(a, b)
+	if err != nil {
+		return err
+	}
+	l.Fail()
+	return nil
+}
+
+// RestoreLink brings a failed switch-to-switch link back up.
+func (f *Fabric) RestoreLink(a, b packet.SwitchID) error {
+	l, err := f.LinkBetween(a, b)
+	if err != nil {
+		return err
+	}
+	l.Restore()
+	return nil
+}
+
+// Links returns all switch-to-switch links (iteration order unspecified).
+func (f *Fabric) Links() []*sim.Link {
+	out := make([]*sim.Link, 0, len(f.links))
+	for _, l := range f.links {
+		out = append(out, l)
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+// Package flowsim is a flow-level network simulator: flows traverse
+// capacitated links and receive max-min fair bandwidth; the simulator
+// advances between flow arrivals, completions and scheduled actions
+// (reroutes, failures). The paper's long-running throughput experiments —
+// leaf-to-leaf aggregates, failure-recovery timelines, and the HiBench
+// macro-benchmarks — run here, where packet-level simulation would be
+// needlessly expensive.
+package flowsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LinkID indexes a directed capacitated link.
+type LinkID int
+
+// Network is the capacity graph.
+type Network struct {
+	capacity []float64 // bits/sec per link
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network { return &Network{} }
+
+// AddLink registers a link with the given capacity (bits/sec) and returns
+// its ID.
+func (n *Network) AddLink(capacityBps float64) LinkID {
+	n.capacity = append(n.capacity, capacityBps)
+	return LinkID(len(n.capacity) - 1)
+}
+
+// NumLinks reports the number of links.
+func (n *Network) NumLinks() int { return len(n.capacity) }
+
+// Capacity returns a link's capacity.
+func (n *Network) Capacity(l LinkID) float64 { return n.capacity[int(l)] }
+
+// SetCapacity changes a link's capacity (e.g. to 0 on failure). Callers
+// should follow with Simulator.Reallocate via a scheduled action.
+func (n *Network) SetCapacity(l LinkID, capacityBps float64) { n.capacity[int(l)] = capacityBps }
+
+// Flow is one transfer.
+type Flow struct {
+	ID      int
+	Path    []LinkID // links traversed (order irrelevant to allocation)
+	Size    float64  // bits to transfer
+	Start   float64  // arrival time, seconds
+	RateCap float64  // optional per-flow cap (e.g. NIC speed); 0 = none
+
+	// Results, valid after the flow finishes.
+	Finished bool
+	End      float64
+
+	remaining float64
+	rate      float64
+	active    bool
+}
+
+// Rate returns the flow's current allocation (bits/sec).
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns unsent bits.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Duration is the flow completion time in seconds.
+func (f *Flow) Duration() float64 { return f.End - f.Start }
+
+// ErrNegativeTime guards against scheduling in the past.
+var ErrNegativeTime = errors.New("flowsim: action scheduled in the past")
+
+type action struct {
+	at  float64
+	seq int
+	fn  func()
+}
+
+type actionHeap []action
+
+func (h actionHeap) Len() int { return len(h) }
+func (h actionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h actionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *actionHeap) Push(x any)   { *h = append(*h, x.(action)) }
+func (h *actionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	*h = old[:n-1]
+	return a
+}
+
+// Simulator advances flows through time.
+type Simulator struct {
+	net     *Network
+	now     float64
+	flows   []*Flow
+	active  []*Flow // incrementally maintained: started, unfinished
+	actions actionHeap
+	seq     int
+
+	// OnFinish is invoked as each flow completes.
+	OnFinish func(f *Flow, now float64)
+}
+
+// NewSimulator creates a simulator over the network.
+func NewSimulator(net *Network) *Simulator { return &Simulator{net: net} }
+
+// Now returns current simulation time (seconds).
+func (s *Simulator) Now() float64 { return s.now }
+
+// Add registers a flow; its Start may be now or in the future.
+func (s *Simulator) Add(f *Flow) {
+	f.remaining = f.Size
+	s.flows = append(s.flows, f)
+	if f.Start > s.now {
+		start := f.Start
+		s.At(start, func() { s.activate(f) })
+	} else {
+		f.Start = s.now
+		s.activate(f)
+	}
+}
+
+func (s *Simulator) activate(f *Flow) {
+	if f.active || f.Finished {
+		return
+	}
+	f.active = true
+	s.active = append(s.active, f)
+}
+
+// At schedules fn at absolute time t (clamped to now).
+func (s *Simulator) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.actions, action{at: t, seq: s.seq, fn: fn})
+}
+
+// Reroute atomically changes a flow's path (the flowlet/failover move).
+func (s *Simulator) Reroute(f *Flow, path []LinkID) {
+	f.Path = append([]LinkID(nil), path...)
+}
+
+// activeFlows returns flows currently transferring. The slice is owned by
+// the simulator; callers must not retain it across events.
+func (s *Simulator) activeFlows() []*Flow { return s.active }
+
+// allocate computes max-min fair rates by progressive filling. The loop is
+// O((links + capped flows) · links) with incremental per-link bookkeeping,
+// so thousand-flow shuffles stay tractable.
+func (s *Simulator) allocate() {
+	active := s.activeFlows()
+	for _, f := range active {
+		f.rate = 0
+	}
+	if len(active) == 0 {
+		return
+	}
+	nLinks := len(s.net.capacity)
+	remCap := make([]float64, nLinks)
+	copy(remCap, s.net.capacity)
+	nUnfixed := make([]int, nLinks)
+	flowsOn := make([][]*Flow, nLinks)
+	fixed := make(map[*Flow]bool, len(active))
+	// uniqueLinks caches each flow's deduplicated path.
+	uniqueLinks := make(map[*Flow][]LinkID, len(active))
+
+	var capped []*Flow
+	unfixedTotal := 0
+	for _, f := range active {
+		links := f.Path
+		if len(links) > 1 {
+			seen := make(map[LinkID]bool, len(links))
+			dedup := make([]LinkID, 0, len(links))
+			for _, l := range links {
+				if !seen[l] {
+					seen[l] = true
+					dedup = append(dedup, l)
+				}
+			}
+			links = dedup
+		}
+		uniqueLinks[f] = links
+		if len(links) == 0 && f.RateCap <= 0 {
+			// Pathless, uncapped: completes at an effectively infinite
+			// rate.
+			f.rate = math.Inf(1)
+			continue
+		}
+		for _, l := range links {
+			flowsOn[int(l)] = append(flowsOn[int(l)], f)
+			nUnfixed[int(l)]++
+		}
+		if f.RateCap > 0 {
+			capped = append(capped, f)
+		}
+		unfixedTotal++
+	}
+	sort.Slice(capped, func(i, j int) bool {
+		if capped[i].RateCap != capped[j].RateCap {
+			return capped[i].RateCap < capped[j].RateCap
+		}
+		return capped[i].ID < capped[j].ID
+	})
+	capIdx := 0
+
+	fix := func(f *Flow, rate float64) {
+		if fixed[f] {
+			return
+		}
+		fixed[f] = true
+		f.rate = rate
+		unfixedTotal--
+		for _, l := range uniqueLinks[f] {
+			remCap[int(l)] -= rate
+			if remCap[int(l)] < 0 {
+				remCap[int(l)] = 0
+			}
+			nUnfixed[int(l)]--
+		}
+	}
+
+	for unfixedTotal > 0 {
+		minShare := math.Inf(1)
+		minLink := -1
+		for l := 0; l < nLinks; l++ {
+			if nUnfixed[l] == 0 {
+				continue
+			}
+			share := remCap[l] / float64(nUnfixed[l])
+			if share < minShare {
+				minShare, minLink = share, l
+			}
+		}
+		for capIdx < len(capped) && fixed[capped[capIdx]] {
+			capIdx++
+		}
+		if capIdx < len(capped) && capped[capIdx].RateCap < minShare {
+			fix(capped[capIdx], capped[capIdx].RateCap)
+			continue
+		}
+		if minLink < 0 {
+			// Remaining flows (capped, pathless) are unconstrained by
+			// links: give them their caps.
+			for _, f := range capped {
+				if !fixed[f] {
+					fix(f, f.RateCap)
+				}
+			}
+			break
+		}
+		for _, f := range flowsOn[minLink] {
+			fix(f, minShare)
+		}
+	}
+}
+
+// advance moves time forward by dt, draining active flows.
+func (s *Simulator) advance(dt float64) {
+	for _, f := range s.activeFlows() {
+		if math.IsInf(f.rate, 1) {
+			f.remaining = 0
+			continue
+		}
+		f.remaining -= f.rate * dt
+		if f.remaining < 1e-6 {
+			f.remaining = 0
+		}
+	}
+	s.now += dt
+}
+
+// finishDone marks and reports completed flows. Flows at infinite rate
+// (pathless, uncapped) complete instantly, and flows whose residual would
+// drain in under a picosecond are treated as done — their completion time
+// is below the representable resolution of float64 time, and waiting on
+// them would stall the clock.
+func (s *Simulator) finishDone() {
+	kept := s.active[:0]
+	var done []*Flow
+	for _, f := range s.active {
+		if math.IsInf(f.rate, 1) || (f.rate > 0 && f.remaining/f.rate < 1e-12) {
+			f.remaining = 0
+		}
+		if f.remaining <= 0 {
+			f.Finished = true
+			f.active = false
+			f.End = s.now
+			done = append(done, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	s.active = kept
+	if s.OnFinish != nil {
+		// Callbacks run after the list is consistent: they may Add flows.
+		for _, f := range done {
+			s.OnFinish(f, s.now)
+		}
+	}
+}
+
+// step executes until the next event; returns false when nothing remains.
+func (s *Simulator) step(deadline float64) bool {
+	s.allocate()
+	s.finishDone()
+	s.allocate()
+
+	// Next completion time.
+	nextDone := math.Inf(1)
+	for _, f := range s.activeFlows() {
+		if f.rate > 0 {
+			t := s.now + f.remaining/f.rate
+			if t < nextDone {
+				nextDone = t
+			}
+		} else if math.IsInf(f.rate, 1) {
+			nextDone = s.now
+		}
+	}
+	nextAction := math.Inf(1)
+	if len(s.actions) > 0 {
+		nextAction = s.actions[0].at
+	}
+	next := math.Min(nextDone, nextAction)
+	if math.IsInf(next, 1) || next > deadline {
+		if deadline > s.now && !math.IsInf(deadline, 1) {
+			s.advance(deadline - s.now)
+			s.finishDone()
+		}
+		return false
+	}
+	if next > s.now {
+		s.advance(next - s.now)
+	}
+	// Run all actions due now.
+	for len(s.actions) > 0 && s.actions[0].at <= s.now+1e-12 {
+		a := heap.Pop(&s.actions).(action)
+		a.fn()
+	}
+	s.finishDone()
+	return true
+}
+
+// Run executes until all flows finish and no actions remain.
+func (s *Simulator) Run() {
+	// The spin guard catches any future zero-progress loop (e.g. a float
+	// pathology) instead of hanging the caller.
+	spins := 0
+	last := s.now
+	for s.step(math.Inf(1)) {
+		if s.now == last {
+			spins++
+			if spins > 1_000_000 {
+				var diag string
+				for _, f := range s.activeFlows() {
+					diag += fmt.Sprintf(" flow%d rate=%v rem=%v", f.ID, f.rate, f.remaining)
+					if len(diag) > 200 {
+						break
+					}
+				}
+				panic(fmt.Sprintf("flowsim: stuck at t=%v actions=%d:%s", s.now, len(s.actions), diag))
+			}
+		} else {
+			spins, last = 0, s.now
+		}
+	}
+}
+
+// RunUntil executes events up to time t, then advances the clock to t.
+func (s *Simulator) RunUntil(t float64) {
+	for s.step(t) {
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// AllDone reports whether every flow has finished.
+func (s *Simulator) AllDone() bool {
+	for _, f := range s.flows {
+		if !f.Finished {
+			return false
+		}
+	}
+	return true
+}
+
+// RateOf returns a flow's instantaneous rate after the latest allocation.
+func (s *Simulator) RateOf(f *Flow) float64 {
+	s.allocate()
+	return f.rate
+}
+
+// String summarizes simulator state.
+func (s *Simulator) String() string {
+	done := 0
+	for _, f := range s.flows {
+		if f.Finished {
+			done++
+		}
+	}
+	return fmt.Sprintf("flowsim t=%.3fs %d/%d flows done", s.now, done, len(s.flows))
+}

@@ -1,0 +1,84 @@
+package fpgamodel
+
+import "testing"
+
+func TestPaperAnchors(t *testing.T) {
+	d := DumbNetSwitch(4)
+	if d.LUTs != 1713 {
+		t.Fatalf("DumbNet 4-port LUTs = %d, want 1713", d.LUTs)
+	}
+	if d.Registers != 1504 {
+		t.Fatalf("DumbNet 4-port registers = %d, want 1504", d.Registers)
+	}
+	o := OpenFlowSwitch(4)
+	if o.LUTs != 16070 {
+		t.Fatalf("OpenFlow 4-port LUTs = %d, want 16070", o.LUTs)
+	}
+	if o.Registers != 17193 {
+		t.Fatalf("OpenFlow 4-port registers = %d, want 17193", o.Registers)
+	}
+}
+
+func TestAlmostNinetyPercentSaving(t *testing.T) {
+	s := SavingsAt(4)
+	if s < 0.85 || s > 0.95 {
+		t.Fatalf("saving at 4 ports = %.2f, want ~0.9", s)
+	}
+}
+
+func TestMonotoneGrowth(t *testing.T) {
+	prev := Resources{}
+	for p := 1; p <= 32; p++ {
+		r := DumbNetSwitch(p)
+		if r.LUTs <= prev.LUTs || r.Registers <= prev.Registers {
+			t.Fatalf("not monotone at %d ports: %+v vs %+v", p, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestFig7Envelope(t *testing.T) {
+	// Fig 7 shows the DumbNet switch staying under ~35K elements at 32
+	// ports — high port density on a small FPGA.
+	r := DumbNetSwitch(32)
+	if r.LUTs < 20000 || r.LUTs > 35000 {
+		t.Fatalf("32-port LUTs = %d, want ≈30K", r.LUTs)
+	}
+}
+
+func TestQuadraticShape(t *testing.T) {
+	// Doubling ports from 8 to 16 to 32 should grow super-linearly
+	// (crossbar) but sub-4x overall (fixed+linear terms damp it).
+	l8 := DumbNetSwitch(8).LUTs
+	l16 := DumbNetSwitch(16).LUTs
+	l32 := DumbNetSwitch(32).LUTs
+	r1 := float64(l16) / float64(l8)
+	r2 := float64(l32) / float64(l16)
+	if r1 <= 1.5 || r1 >= 4 || r2 <= 1.5 || r2 >= 4 {
+		t.Fatalf("growth ratios %.2f %.2f out of range", r1, r2)
+	}
+	if r2 <= r1 {
+		t.Fatalf("growth should accelerate with the crossbar: %.2f then %.2f", r1, r2)
+	}
+}
+
+func TestDumbNetAlwaysSmaller(t *testing.T) {
+	for p := 1; p <= 64; p *= 2 {
+		d, o := DumbNetSwitch(p), OpenFlowSwitch(p)
+		if d.LUTs >= o.LUTs || d.Registers >= o.Registers {
+			t.Fatalf("at %d ports DumbNet (%+v) not smaller than OpenFlow (%+v)", p, d, o)
+		}
+	}
+}
+
+func TestClampPorts(t *testing.T) {
+	if DumbNetSwitch(0) != DumbNetSwitch(1) || OpenFlowSwitch(-3) != OpenFlowSwitch(1) {
+		t.Fatal("non-positive ports should clamp to 1")
+	}
+}
+
+func TestVerilogLines(t *testing.T) {
+	if VerilogLines != 1228 {
+		t.Fatal("paper constant changed")
+	}
+}

@@ -1,0 +1,405 @@
+// Package host implements the DumbNet host agent (paper §5.2): the
+// kernel-module-style datapath that encapsulates outgoing packets with
+// routing tags and validates incoming ones, the two-level path cache
+// (TopoCache + PathTable), stage-1 failure handling with host-based
+// flooding, the topology-discovery responder, and the extension hooks
+// (custom routing functions, flowlet-based traffic engineering, path
+// verification) from §6.
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// Config tunes the agent.
+type Config struct {
+	// KPaths is how many shortest paths the PathTable caches per
+	// destination (paper: "TopoCache computes k shortest paths and
+	// PathTable caches them all").
+	KPaths int
+	// ProcessDelay models the per-packet software datapath cost (the
+	// DPDK/KNI overhead measured in Fig 9/10); charged on send and on
+	// receive.
+	ProcessDelay sim.Time
+	// EncapDelay is the extra header-manipulation cost of inserting the
+	// tag stack (the "+MPLS header copy" overhead of Fig 9).
+	EncapDelay sim.Time
+	// RequestTimeout is the controller path-request retry interval.
+	RequestTimeout sim.Time
+	// MaxPending bounds packets queued per destination while a path
+	// request is outstanding.
+	MaxPending int
+	// VerifyPaths runs the path verifier on every application-installed
+	// route (§6.1). Routes from the agent's own cache are trusted.
+	VerifyPaths bool
+	// UseMPLS selects the commodity-switch encoding (§5.3): routing tags
+	// travel as an MPLS label stack instead of the native one-byte tags.
+	UseMPLS bool
+	// ECNEchoInterval rate-limits congestion echoes per source (the ECN
+	// extension); 0 means the 500 µs default.
+	ECNEchoInterval sim.Time
+	// DisableHostFlood turns off stage-1 peer-to-peer flooding, leaving
+	// only the switches' hop-limited broadcast — used by the hop-limit
+	// ablation to measure how far the hardware flood alone reaches.
+	DisableHostFlood bool
+}
+
+// DefaultConfig mirrors the prototype's behaviour.
+func DefaultConfig() Config {
+	return Config{
+		KPaths:         4,
+		ProcessDelay:   2 * sim.Microsecond,
+		EncapDelay:     80 * sim.Nanosecond,
+		RequestTimeout: 5 * sim.Millisecond,
+		MaxPending:     128,
+	}
+}
+
+// Stats counts agent activity.
+type Stats struct {
+	Sent          uint64 // data frames transmitted
+	Received      uint64 // data frames delivered to the application
+	CtrlReceived  uint64 // control messages processed
+	PathQueries   uint64 // MsgPathRequest sent to the controller
+	PathResponses uint64 // MsgPathResponse integrated
+	QueryRetries  uint64
+	PendingDrops  uint64 // packets dropped because the pending queue filled
+	NoRouteDrops  uint64 // packets dropped with no route and no controller
+	BadFrames     uint64 // undecodable or mid-path frames received
+	EventsSeen    uint64 // distinct link events learned
+	EventsDup     uint64 // duplicate link events suppressed
+	FloodsSent    uint64 // host-flood transmissions
+	PatchesAppled uint64 // topology patches applied
+	FailoverHits  uint64 // sends that used a repaired/backup path after invalidation
+	VerifyFails   uint64 // application routes rejected by the verifier
+
+	CEReceived        uint64 // frames that arrived with the CE mark
+	CongestionEchoes  uint64 // echoes sent back to marking senders
+	CongestionNotices uint64 // echoes received about our own traffic
+}
+
+// Errors.
+var (
+	ErrNoController = errors.New("host: controller location unknown")
+	ErrNoRoute      = errors.New("host: no route to destination")
+	ErrPending      = errors.New("host: path request pending")
+	ErrVerifyFailed = errors.New("host: route failed verification")
+)
+
+// FlowKey identifies a transport flow for path binding.
+type FlowKey struct {
+	Dst              packet.MAC
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// hash mixes the flow key into a uint64 (FNV-1a with a splitmix-style
+// finalizer; raw FNV low bits correlate badly under small moduli).
+func (k FlowKey) hash() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(b byte) { h = (h ^ uint64(b)) * 1099511628211 }
+	for _, b := range k.Dst {
+		mix(b)
+	}
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.SrcPort))
+	mix(byte(k.DstPort >> 8))
+	mix(byte(k.DstPort))
+	mix(k.Proto)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// pendingPacket is a queued send awaiting a path.
+type pendingPacket struct {
+	innerType uint16
+	payload   []byte
+	flow      FlowKey
+}
+
+// Agent is one DumbNet host.
+type Agent struct {
+	eng  *sim.Engine
+	mac  packet.MAC
+	cfg  Config
+	link *sim.Link
+
+	cache  *topo.Subgraph // TopoCache: aggregated path graphs
+	table  *PathTable
+	attach topo.HostAttach // own attachment (learned from hello)
+
+	ctrl     packet.MAC  // controller identity
+	ctrlPath packet.Path // tags to reach the controller
+	seq      uint64
+
+	pending      map[packet.MAC][]pendingPacket
+	requestOpen  map[packet.MAC]bool
+	seenEvents   map[eventKey]bool
+	patchVersion uint64
+	lastEcho     map[packet.MAC]sim.Time
+
+	// OnData delivers application payloads (src, innerType, payload).
+	OnData func(src packet.MAC, innerType uint16, payload []byte)
+	// OnControl, when set, sees every control message before the agent's
+	// own handling; returning true consumes it. The controller embeds an
+	// agent and uses this hook.
+	OnControl func(t packet.MsgType, msg any, from packet.MAC) bool
+	// OnLinkEvent is notified after a new (deduplicated) link event is
+	// applied to the cache — used by experiments to timestamp stage-1
+	// notification arrival.
+	OnLinkEvent func(ev *packet.LinkEvent)
+	// OnPatch is notified after a topology patch is applied.
+	OnPatch func(p *topo.Patch)
+	// OnCongestionNotice fires when an ECN echo about our traffic arrives.
+	OnCongestionNotice func(dst packet.MAC)
+	// Chooser selects among cached paths per flow; defaults to sticky
+	// per-flow binding. Replace with NewFlowletChooser for flowlet TE.
+	Chooser RouteChooser
+
+	stats Stats
+}
+
+type eventKey struct {
+	sw   packet.SwitchID
+	port packet.Tag
+	seq  uint64
+	up   bool
+}
+
+// New creates an agent for the host with the given MAC.
+func New(eng *sim.Engine, mac packet.MAC, cfg Config) *Agent {
+	if cfg.KPaths <= 0 {
+		cfg.KPaths = 4
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 128
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * sim.Millisecond
+	}
+	a := &Agent{
+		eng:         eng,
+		mac:         mac,
+		cfg:         cfg,
+		cache:       topo.NewSubgraph(),
+		pending:     make(map[packet.MAC][]pendingPacket),
+		requestOpen: make(map[packet.MAC]bool),
+		seenEvents:  make(map[eventKey]bool),
+		lastEcho:    make(map[packet.MAC]sim.Time),
+	}
+	a.table = NewPathTable(cfg.KPaths)
+	a.Chooser = NewStickyChooser()
+	return a
+}
+
+// MAC returns the host's address.
+func (a *Agent) MAC() packet.MAC { return a.mac }
+
+// Stats returns a copy of the counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// Cache exposes the TopoCache (read/extend by extensions, §6.1: "TopoCache
+// offers an interface to reveal partial or entire network topology").
+func (a *Agent) Cache() *topo.Subgraph { return a.cache }
+
+// Table exposes the PathTable.
+func (a *Agent) Table() *PathTable { return a.table }
+
+// Attach returns the host's own attachment point (zero until bootstrapped).
+func (a *Agent) Attach() topo.HostAttach { return a.attach }
+
+// Controller returns the known controller identity and path.
+func (a *Agent) Controller() (packet.MAC, packet.Path, bool) {
+	return a.ctrl, a.ctrlPath, !a.ctrl.IsZero()
+}
+
+// SetUplink wires the agent to its access link (fabric.AttachHost result).
+func (a *Agent) SetUplink(l *sim.Link) { a.link = l }
+
+// SetBootstrap installs the bootstrap info directly (used by tests and by
+// deployments with static configuration instead of a hello patch).
+func (a *Agent) SetBootstrap(attach topo.HostAttach, ctrl packet.MAC, ctrlPath packet.Path) {
+	a.attach = attach
+	a.ctrl = ctrl
+	a.ctrlPath = ctrlPath.Clone()
+	a.cache.AddHost(attach)
+}
+
+// nextSeq returns a fresh sequence number.
+func (a *Agent) nextSeq() uint64 {
+	a.seq++
+	return a.seq
+}
+
+// SendFrame transmits a raw DumbNet frame with explicit tags after the
+// datapath processing delay. Exported for the controller and extensions.
+func (a *Agent) SendFrame(dst packet.MAC, tags packet.Path, innerType uint16, payload []byte) error {
+	if dst == a.mac && len(tags) == 0 {
+		// Self-addressed control (e.g. the controller's own agent talking
+		// to the controller process): loop back locally.
+		f := &packet.Frame{Dst: dst, Src: a.mac, InnerType: innerType, Payload: payload}
+		a.eng.After(a.cfg.ProcessDelay, func() { a.deliver(f) })
+		return nil
+	}
+	if a.link == nil {
+		return fmt.Errorf("host %v: no uplink", a.mac)
+	}
+	f := &packet.Frame{Dst: dst, Src: a.mac, Tags: tags, InnerType: innerType, Payload: payload}
+	var buf []byte
+	var err error
+	if a.cfg.UseMPLS {
+		buf, err = f.EncodeMPLS()
+	} else {
+		buf, err = f.Encode()
+	}
+	if err != nil {
+		return err
+	}
+	delay := a.cfg.ProcessDelay + a.cfg.EncapDelay
+	a.eng.After(delay, func() { a.link.SendFrom(a, buf) })
+	return nil
+}
+
+// SendData sends an application payload to dst with the default flow key.
+func (a *Agent) SendData(dst packet.MAC, payload []byte) error {
+	return a.Send(dst, packet.EtherTypeIPv4, payload, FlowKey{Dst: dst})
+}
+
+// Send routes a payload to dst, querying the controller on a path miss and
+// queueing the packet until the path graph arrives.
+func (a *Agent) Send(dst packet.MAC, innerType uint16, payload []byte, flow FlowKey) error {
+	if dst == a.mac {
+		if a.OnData != nil {
+			a.OnData(a.mac, innerType, payload)
+		}
+		return nil
+	}
+	tags, ok := a.routeFor(dst, flow)
+	if ok {
+		a.stats.Sent++
+		return a.SendFrame(dst, tags, innerType, payload)
+	}
+	// Path miss: queue and query the controller.
+	if a.ctrl.IsZero() {
+		a.stats.NoRouteDrops++
+		return ErrNoController
+	}
+	if len(a.pending[dst]) >= a.cfg.MaxPending {
+		a.stats.PendingDrops++
+		return ErrPending
+	}
+	a.pending[dst] = append(a.pending[dst], pendingPacket{innerType: innerType, payload: payload, flow: flow})
+	a.requestPath(dst)
+	return nil
+}
+
+// routeFor returns header tags for dst, or false on a cache miss.
+func (a *Agent) routeFor(dst packet.MAC, flow FlowKey) (packet.Path, bool) {
+	entry := a.table.Lookup(dst)
+	if entry == nil {
+		// Try to synthesize from the TopoCache (the destination may be
+		// reachable via previously merged path graphs).
+		if !a.fillTableFromCache(dst) {
+			return nil, false
+		}
+		entry = a.table.Lookup(dst)
+	}
+	idx := a.Chooser.Choose(a.eng.Now(), flow, len(entry.Paths))
+	if idx < 0 || idx >= len(entry.Paths) {
+		idx = 0
+	}
+	return entry.Paths[idx].Tags, true
+}
+
+// Receive implements sim.Node: the ingress half of the kernel module. Both
+// encodings are accepted regardless of the send-side configuration, as on
+// a real NIC.
+func (a *Agent) Receive(port int, frame []byte) {
+	var f *packet.Frame
+	var err error
+	if len(frame) >= packet.EthernetHeaderLen &&
+		frame[12] == byte(packet.EtherTypeMPLS>>8) && frame[13] == byte(packet.EtherTypeMPLS&0xFF) {
+		f, err = packet.DecodeMPLS(frame)
+	} else {
+		f, err = packet.Decode(frame)
+	}
+	if err != nil {
+		a.stats.BadFrames++
+		return
+	}
+	if len(f.Tags) != 0 {
+		// Path not fully consumed: the kernel module drops it (§5.1).
+		a.stats.BadFrames++
+		return
+	}
+	a.eng.After(a.cfg.ProcessDelay, func() { a.deliver(f) })
+}
+
+func (a *Agent) deliver(f *packet.Frame) {
+	if f.Flags&packet.FlagCE != 0 {
+		a.handleCE(f.Src)
+	}
+	if f.InnerType != packet.EtherTypeControl {
+		a.stats.Received++
+		if a.OnData != nil {
+			a.OnData(f.Src, f.InnerType, f.Payload)
+		}
+		return
+	}
+	t, msg, err := packet.DecodeControl(f.Payload)
+	if err != nil {
+		a.stats.BadFrames++
+		return
+	}
+	a.stats.CtrlReceived++
+	if a.OnControl != nil && a.OnControl(t, msg, f.Src) {
+		return
+	}
+	switch t {
+	case packet.MsgProbe:
+		a.handleProbe(msg.(*packet.Probe))
+	case packet.MsgLinkEvent:
+		a.handleLinkEvent(msg.(*packet.LinkEvent))
+	case packet.MsgHostFlood:
+		a.handleHostFlood(msg.(*packet.Blob))
+	case packet.MsgPathResponse:
+		a.handlePathResponse(msg.(*packet.Blob))
+	case packet.MsgTopoPatch:
+		a.handleTopoPatch(msg.(*packet.Blob))
+	case packet.MsgCongestion:
+		a.handleCongestion(msg.(*packet.Congestion))
+	case packet.MsgData:
+		blob := msg.(*packet.Blob)
+		a.stats.Received++
+		if a.OnData != nil {
+			a.OnData(f.Src, packet.EtherTypeControl, blob.Body)
+		}
+	}
+}
+
+// handleProbe answers topology-discovery probes (§4.1): reply with our
+// identity along the reverse path the prober supplied.
+func (a *Agent) handleProbe(p *packet.Probe) {
+	if len(p.Return) == 0 {
+		return
+	}
+	body, err := packet.EncodeControl(packet.MsgProbeReply, &packet.ProbeReply{
+		Responder: a.mac,
+		Seq:       p.Seq,
+		Path:      p.Path,
+		KnowsCtrl: !a.ctrl.IsZero(),
+	})
+	if err != nil {
+		return
+	}
+	_ = a.SendFrame(p.Origin, p.Return, packet.EtherTypeControl, body)
+}

@@ -1,0 +1,124 @@
+package host
+
+import (
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+)
+
+// The ECN extension (paper §6.2/§8, named future work): switches mark
+// frames that cross congested ports; the receiving host echoes the mark to
+// the sender, and a congestion-aware route chooser steers subsequent
+// traffic onto another of the k cached paths. Everything below runs on
+// hosts — the switch contribution is one stateless flag write.
+
+// CongestionAware is implemented by route choosers that react to ECN
+// echoes.
+type CongestionAware interface {
+	// OnCongestion reports that the path currently used toward dst passed
+	// through a congested port.
+	OnCongestion(dst packet.MAC)
+}
+
+// handleCE processes a congestion-experienced mark on a received frame:
+// echo it to the sender, rate-limited per source.
+func (a *Agent) handleCE(src packet.MAC) {
+	a.stats.CEReceived++
+	if src == a.mac || src == packet.BroadcastMAC {
+		return
+	}
+	now := a.eng.Now()
+	interval := a.cfg.ECNEchoInterval
+	if interval <= 0 {
+		interval = 500 * sim.Microsecond
+	}
+	if last, ok := a.lastEcho[src]; ok && now-last < interval {
+		return
+	}
+	tags, ok := a.routeFor(src, FlowKey{Dst: src})
+	if !ok {
+		return // no cached route back; the mark is best-effort
+	}
+	a.lastEcho[src] = now
+	body, err := packet.EncodeControl(packet.MsgCongestion, &packet.Congestion{
+		Reporter: a.mac,
+		Seq:      a.nextSeq(),
+	})
+	if err != nil {
+		return
+	}
+	a.stats.CongestionEchoes++
+	_ = a.SendFrame(src, tags, packet.EtherTypeControl, body)
+}
+
+// handleCongestion processes an incoming echo: tell the chooser to move
+// traffic toward the reporter onto another path.
+func (a *Agent) handleCongestion(m *packet.Congestion) {
+	a.stats.CongestionNotices++
+	if ca, ok := a.Chooser.(CongestionAware); ok {
+		ca.OnCongestion(m.Reporter)
+	}
+	if a.OnCongestionNotice != nil {
+		a.OnCongestionNotice(m.Reporter)
+	}
+}
+
+// ECNChooser is a congestion-aware route chooser: flows bind to a path as
+// with the sticky default, but every congestion notice for a destination
+// bumps that destination's epoch, shifting all its flows to the next of the
+// k cached paths. Combined with switch marking it implements the
+// congestion-avoiding rerouting the paper leaves as future work.
+type ECNChooser struct {
+	// Cooldown bounds how often one destination's epoch may advance, so a
+	// burst of echoes causes one reroute, not k.
+	Cooldown sim.Time
+
+	epoch  map[packet.MAC]uint64
+	bumped map[packet.MAC]sim.Time
+	clock  func() sim.Time
+}
+
+// NewECNChooser creates a congestion-aware chooser. The clock is supplied
+// by the agent when installed via UseECNRouting (or manually for tests).
+func NewECNChooser(cooldown sim.Time, clock func() sim.Time) *ECNChooser {
+	return &ECNChooser{
+		Cooldown: cooldown,
+		epoch:    make(map[packet.MAC]uint64),
+		bumped:   make(map[packet.MAC]sim.Time),
+		clock:    clock,
+	}
+}
+
+// Choose implements RouteChooser.
+func (c *ECNChooser) Choose(now sim.Time, flow FlowKey, nPaths int) int {
+	if nPaths <= 1 {
+		return 0
+	}
+	return int((flow.hash() + c.epoch[flow.Dst]) % uint64(nPaths))
+}
+
+// OnCongestion implements CongestionAware.
+func (c *ECNChooser) OnCongestion(dst packet.MAC) {
+	now := sim.Time(0)
+	if c.clock != nil {
+		now = c.clock()
+	}
+	if last, ok := c.bumped[dst]; ok && c.Cooldown > 0 && now-last < c.Cooldown {
+		return
+	}
+	c.bumped[dst] = now
+	c.epoch[dst]++
+}
+
+// Epoch exposes a destination's reroute count (for tests/observability).
+func (c *ECNChooser) Epoch(dst packet.MAC) uint64 { return c.epoch[dst] }
+
+// SetEpoch pins a destination's epoch — experiments use it to start a flow
+// on a known path index before measuring rerouting behaviour.
+func (c *ECNChooser) SetEpoch(dst packet.MAC, e uint64) { c.epoch[dst] = e }
+
+// UseECNRouting installs a congestion-aware chooser on the agent.
+func (a *Agent) UseECNRouting(cooldown sim.Time) *ECNChooser {
+	c := NewECNChooser(cooldown, a.eng.Now)
+	a.Chooser = c
+	return c
+}

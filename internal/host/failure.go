@@ -1,0 +1,153 @@
+package host
+
+import (
+	"dumbnet/internal/packet"
+	"dumbnet/internal/topo"
+)
+
+// Stage-1 failure handling on the host (paper §4.2): when a link event
+// arrives — either the switch's hop-limited hardware broadcast or another
+// host's flood — the agent deduplicates it, patches its TopoCache, fails
+// over affected PathTable entries, and floods the event on to every host it
+// knows, peer-to-peer style. No controller involvement.
+
+// handleLinkEvent processes a switch-originated broadcast.
+func (a *Agent) handleLinkEvent(ev *packet.LinkEvent) {
+	a.applyLinkEvent(ev, true)
+}
+
+// handleHostFlood processes a host-flooded copy.
+func (a *Agent) handleHostFlood(blob *packet.Blob) {
+	t, msg, err := packet.DecodeControl(blob.Body)
+	if err != nil || t != packet.MsgLinkEvent {
+		a.stats.BadFrames++
+		return
+	}
+	a.applyLinkEvent(msg.(*packet.LinkEvent), true)
+}
+
+// applyLinkEvent is the shared core; flood controls onward propagation.
+func (a *Agent) applyLinkEvent(ev *packet.LinkEvent, flood bool) {
+	key := eventKey{sw: ev.Switch, port: ev.Port, seq: ev.Seq, up: ev.Up}
+	if a.seenEvents[key] {
+		a.stats.EventsDup++
+		return
+	}
+	a.seenEvents[key] = true
+	a.stats.EventsSeen++
+
+	if !ev.Up {
+		// Patch the cache and fail over the PathTable immediately; an
+		// alternative path is likely already cached (§4.3).
+		a.cache.RemoveEdgeByPort(ev.Switch, ev.Port)
+		dead := a.table.DropLink(ev.Switch, ev.Port)
+		for _, dst := range dead {
+			// Try detours from the cache; otherwise re-query lazily on
+			// the next send.
+			if a.fillTableFromCache(dst) {
+				a.stats.FailoverHits++
+			}
+		}
+	}
+	// Link-up events only matter to the controller, which re-probes and
+	// patches the topology (stage 2); hosts just forward the news.
+
+	if a.OnLinkEvent != nil {
+		a.OnLinkEvent(ev)
+	}
+	if flood && !a.cfg.DisableHostFlood {
+		a.floodLinkEvent(ev)
+	}
+}
+
+// floodLinkEvent forwards the event to every host in the TopoCache (the
+// peer-to-peer flood of §4.2). Receivers deduplicate, so the flood
+// terminates after one round.
+func (a *Agent) floodLinkEvent(ev *packet.LinkEvent) {
+	inner, err := packet.EncodeControl(packet.MsgLinkEvent, ev)
+	if err != nil {
+		return
+	}
+	body, err := packet.EncodeControl(packet.MsgHostFlood, &packet.Blob{Seq: a.nextSeq(), Body: inner})
+	if err != nil {
+		return
+	}
+	for _, at := range a.cache.Hosts() {
+		if at.Host == a.mac {
+			continue
+		}
+		tags, ok := a.routeFor(at.Host, FlowKey{Dst: at.Host})
+		if !ok {
+			continue
+		}
+		a.stats.FloodsSent++
+		_ = a.SendFrame(at.Host, tags, packet.EtherTypeControl, body)
+	}
+	// Always tell the controller directly if we know it and it is not
+	// already among the cached hosts.
+	if !a.ctrl.IsZero() {
+		if _, err := a.cache.HostAt(a.ctrl); err != nil {
+			a.stats.FloodsSent++
+			_ = a.SendFrame(a.ctrl, a.ctrlPath, packet.EtherTypeControl, body)
+		}
+	}
+}
+
+// handleTopoPatch applies a stage-2 controller patch.
+func (a *Agent) handleTopoPatch(blob *packet.Blob) {
+	p, err := topo.UnmarshalPatch(blob.Body)
+	if err != nil {
+		a.stats.BadFrames++
+		return
+	}
+	if p.Version != 0 && p.Version <= a.patchVersion {
+		return // stale
+	}
+	if p.Version != 0 {
+		a.patchVersion = p.Version
+	}
+	// Interpret hello ops addressed to us.
+	for _, op := range p.Ops {
+		if op.Kind == topo.OpHello && op.Attach.Host == a.mac {
+			a.attach = op.Attach
+			a.ctrl = op.Ctrl
+			a.ctrlPath = op.CtrlPath.Clone()
+			a.cache.AddHost(op.Attach)
+		}
+	}
+	p.Apply(a.cache)
+	a.stats.PatchesAppled++
+	// Re-validate cached routes: recompute entries whose paths vanished
+	// from the cache (a patch may remove links not seen via stage 1).
+	for _, dst := range a.table.Destinations() {
+		e := a.table.Lookup(dst)
+		valid := e.Paths[:0]
+		for _, cp := range e.Paths {
+			if a.routeStillValid(cp) {
+				valid = append(valid, cp)
+			}
+		}
+		e.Paths = valid
+		if len(e.Paths) == 0 {
+			a.table.Invalidate(dst)
+			a.fillTableFromCache(dst)
+		}
+	}
+	if a.OnPatch != nil {
+		a.OnPatch(p)
+	}
+}
+
+// routeStillValid checks a cached path's hops against the current cache.
+func (a *Agent) routeStillValid(cp CachedPath) bool {
+	if len(cp.Hops) == 0 {
+		return true // application-installed route without hop refs
+	}
+	for i := 0; i+1 < len(cp.Hops); i++ {
+		p, err := a.cache.PortToward(cp.Hops[i].Switch, cp.Hops[i+1].Switch)
+		if err != nil || p != cp.Hops[i].Port {
+			return false
+		}
+	}
+	return true
+}

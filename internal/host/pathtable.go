@@ -1,0 +1,306 @@
+package host
+
+import (
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// The two-level path cache (paper §5.2, Figure 4): the TopoCache aggregates
+// controller-issued path graphs into a partial topology; the PathTable is
+// the per-destination fast path, caching k shortest paths plus the backup
+// path and remembering which path each flow uses.
+
+// HopRef identifies one directed link a path traverses, as (switch, out
+// port) — the granularity of link-failure notifications.
+type HopRef struct {
+	Switch packet.SwitchID
+	Port   packet.Tag
+}
+
+// CachedPath is one ready-to-use route.
+type CachedPath struct {
+	Tags packet.Path
+	Hops []HopRef // for invalidation on link events
+}
+
+// usesLink reports whether the path crosses (sw, port) in either direction.
+func (p *CachedPath) usesLink(sw packet.SwitchID, port packet.Tag) bool {
+	for _, h := range p.Hops {
+		if h.Switch == sw && h.Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// TableEntry is the PathTable record for one destination.
+type TableEntry struct {
+	Paths  []CachedPath // k shortest, index-addressed by the route chooser
+	Backup *CachedPath  // the failure-disjoint backup (§4.3)
+}
+
+// PathTable maps destination MAC to cached routes.
+type PathTable struct {
+	k       int
+	entries map[packet.MAC]*TableEntry
+}
+
+// NewPathTable creates a table caching up to k paths per destination.
+func NewPathTable(k int) *PathTable {
+	return &PathTable{k: k, entries: make(map[packet.MAC]*TableEntry)}
+}
+
+// Lookup returns the entry for dst, or nil.
+func (t *PathTable) Lookup(dst packet.MAC) *TableEntry { return t.entries[dst] }
+
+// Install replaces the entry for dst.
+func (t *PathTable) Install(dst packet.MAC, e *TableEntry) { t.entries[dst] = e }
+
+// Invalidate removes the entry for dst.
+func (t *PathTable) Invalidate(dst packet.MAC) { delete(t.entries, dst) }
+
+// Len reports the number of destinations cached.
+func (t *PathTable) Len() int { return len(t.entries) }
+
+// Destinations lists cached destinations (order unspecified).
+func (t *PathTable) Destinations() []packet.MAC {
+	out := make([]packet.MAC, 0, len(t.entries))
+	for m := range t.entries {
+		out = append(out, m)
+	}
+	return out
+}
+
+// DropLink removes every cached path crossing (sw, port), promoting the
+// backup when the primary set empties. It returns the destinations whose
+// entries became unusable (caller should recompute or re-query those).
+func (t *PathTable) DropLink(sw packet.SwitchID, port packet.Tag) []packet.MAC {
+	var dead []packet.MAC
+	for dst, e := range t.entries {
+		kept := e.Paths[:0]
+		for _, p := range e.Paths {
+			if !p.usesLink(sw, port) {
+				kept = append(kept, p)
+			}
+		}
+		e.Paths = kept
+		if e.Backup != nil && e.Backup.usesLink(sw, port) {
+			e.Backup = nil
+		}
+		if len(e.Paths) == 0 {
+			if e.Backup != nil {
+				// Fail over to the backup path immediately (§5.2:
+				// "caching backup paths allows the hosts to failover
+				// fast").
+				e.Paths = append(e.Paths, *e.Backup)
+				e.Backup = nil
+			} else {
+				delete(t.entries, dst)
+				dead = append(dead, dst)
+			}
+		}
+	}
+	return dead
+}
+
+// routesFromView computes up to k cached paths from the local view.
+func routesFromView(view *topo.Subgraph, src, dst packet.MAC, k int) ([]CachedPath, error) {
+	sat, err := view.HostAt(src)
+	if err != nil {
+		return nil, err
+	}
+	dat, err := view.HostAt(dst)
+	if err != nil {
+		return nil, err
+	}
+	sps, err := topo.KShortestPaths(view, sat.Switch, dat.Switch, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CachedPath, 0, len(sps))
+	for _, sp := range sps {
+		cp, err := cachedPathFor(view, sp, dst)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cp)
+	}
+	return out, nil
+}
+
+// cachedPathFor converts a switch path into tags plus hop references.
+func cachedPathFor(view *topo.Subgraph, sp topo.SwitchPath, dst packet.MAC) (CachedPath, error) {
+	tags, err := view.TagsForSwitchPath(sp, dst)
+	if err != nil {
+		return CachedPath{}, err
+	}
+	hops := make([]HopRef, 0, len(tags))
+	for i, sw := range sp {
+		hops = append(hops, HopRef{Switch: sw, Port: tags[i]})
+	}
+	return CachedPath{Tags: tags, Hops: hops}, nil
+}
+
+// fillTableFromCache recomputes the PathTable entry for dst from the
+// TopoCache, reporting success.
+func (a *Agent) fillTableFromCache(dst packet.MAC) bool {
+	paths, err := routesFromView(a.cache, a.mac, dst, a.cfg.KPaths)
+	if err != nil || len(paths) == 0 {
+		return false
+	}
+	a.table.Install(dst, &TableEntry{Paths: paths})
+	return true
+}
+
+// InstallRoute lets an application install a custom route for dst (§6.1).
+// When VerifyPaths is set, the route must walk to dst within the TopoCache
+// view or it is rejected — the "path verifier" that keeps application
+// routing inside policy.
+func (a *Agent) InstallRoute(dst packet.MAC, tags packet.Path) error {
+	if a.cfg.VerifyPaths {
+		if err := a.VerifyRoute(dst, tags); err != nil {
+			a.stats.VerifyFails++
+			return err
+		}
+	}
+	e := a.table.Lookup(dst)
+	if e == nil {
+		e = &TableEntry{}
+	}
+	// Deduplicate: replace an identical cached path instead of shadowing
+	// it (keeps the k-path set diverse for multi-path choosers).
+	kept := e.Paths[:0]
+	for _, p := range e.Paths {
+		if string(p.Tags) != string(tags) {
+			kept = append(kept, p)
+		}
+	}
+	e.Paths = append([]CachedPath{{Tags: tags.Clone()}}, kept...)
+	a.table.Install(dst, e)
+	return nil
+}
+
+// VerifyRoute checks a tag path against the TopoCache: it must start at our
+// switch and terminate at dst's cached attachment (Table 2 "Path Verify").
+func (a *Agent) VerifyRoute(dst packet.MAC, tags packet.Path) error {
+	if a.attach.Host.IsZero() {
+		return ErrNoController
+	}
+	dat, err := a.cache.HostAt(dst)
+	if err != nil {
+		return ErrVerifyFailed
+	}
+	cur := a.attach.Switch
+	for i, tag := range tags {
+		if i == len(tags)-1 {
+			if cur == dat.Switch && tag == dat.Port {
+				return nil
+			}
+			return ErrVerifyFailed
+		}
+		next := packet.SwitchID(0)
+		found := false
+		for _, nb := range a.cache.Neighbors(cur) {
+			if nb.Port == tag {
+				next, found = nb.Sw, true
+				break
+			}
+		}
+		if !found {
+			return ErrVerifyFailed
+		}
+		cur = next
+	}
+	return ErrVerifyFailed
+}
+
+// requestPath sends (or re-sends) a MsgPathRequest for dst.
+func (a *Agent) requestPath(dst packet.MAC) {
+	if a.requestOpen[dst] {
+		return
+	}
+	a.requestOpen[dst] = true
+	a.sendPathRequest(dst, 0)
+}
+
+func (a *Agent) sendPathRequest(dst packet.MAC, attempt int) {
+	if !a.requestOpen[dst] {
+		return
+	}
+	body, err := packet.EncodeControl(packet.MsgPathRequest, &packet.PathRequest{
+		Src: a.mac, Dst: dst, Seq: a.nextSeq(),
+	})
+	if err != nil {
+		return
+	}
+	a.stats.PathQueries++
+	if attempt > 0 {
+		a.stats.QueryRetries++
+	}
+	_ = a.SendFrame(a.ctrl, a.ctrlPath, packet.EtherTypeControl, body)
+	a.eng.After(a.cfg.RequestTimeout, func() {
+		if a.requestOpen[dst] && attempt < 8 {
+			a.sendPathRequest(dst, attempt+1)
+		}
+	})
+}
+
+// handlePathResponse integrates a controller-issued path graph.
+func (a *Agent) handlePathResponse(blob *packet.Blob) {
+	pg, err := topo.UnmarshalPathGraph(blob.Body)
+	if err != nil {
+		a.stats.BadFrames++
+		return
+	}
+	a.stats.PathResponses++
+	a.cache.Merge(pg.Graph)
+	dst := pg.Dst
+	delete(a.requestOpen, dst)
+
+	entry := &TableEntry{}
+	if paths, err := routesFromView(a.cache, a.mac, dst, a.cfg.KPaths); err == nil {
+		entry.Paths = paths
+	}
+	if len(pg.Backup) > 0 {
+		if bp, err := cachedPathFor(a.cache, pg.Backup, dst); err == nil {
+			entry.Backup = &bp
+		}
+	}
+	if len(entry.Paths) == 0 {
+		// Fall back to the primary path as delivered.
+		if pp, err := cachedPathFor(a.cache, pg.Primary, dst); err == nil {
+			entry.Paths = append(entry.Paths, pp)
+		}
+	}
+	if len(entry.Paths) == 0 {
+		return
+	}
+	a.table.Install(dst, entry)
+	// Flush pending packets.
+	queued := a.pending[dst]
+	delete(a.pending, dst)
+	for _, p := range queued {
+		_ = a.Send(dst, p.innerType, p.payload, p.flow)
+	}
+}
+
+// RoutesReady reports whether the PathTable can serve dst right now.
+func (a *Agent) RoutesReady(dst packet.MAC) bool {
+	return a.table.Lookup(dst) != nil
+}
+
+// WarmUp proactively requests a path graph for dst without sending data.
+func (a *Agent) WarmUp(dst packet.MAC) error {
+	if a.RoutesReady(dst) {
+		return nil
+	}
+	if a.ctrl.IsZero() {
+		return ErrNoController
+	}
+	a.requestPath(dst)
+	return nil
+}
+
+// engNow is a tiny helper for tests.
+func (a *Agent) engNow() sim.Time { return a.eng.Now() }

@@ -1,0 +1,278 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.Len() != 0 || d.Min() != 0 || d.Max() != 0 || d.Mean() != 0 {
+		t.Fatalf("empty dist should report zeros")
+	}
+	if d.Percentile(50) != 0 {
+		t.Fatalf("empty percentile should be 0")
+	}
+	if d.CDF(10) != nil {
+		t.Fatalf("empty CDF should be nil")
+	}
+}
+
+func TestDistBasicStats(t *testing.T) {
+	d := NewDist(4, 1, 3, 2, 5)
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	if d.Min() != 1 || d.Max() != 5 {
+		t.Fatalf("min/max = %v/%v, want 1/5", d.Min(), d.Max())
+	}
+	if !almostEqual(d.Mean(), 3, 1e-12) {
+		t.Fatalf("mean = %v, want 3", d.Mean())
+	}
+	if !almostEqual(d.Median(), 3, 1e-12) {
+		t.Fatalf("median = %v, want 3", d.Median())
+	}
+	if !almostEqual(d.Stddev(), math.Sqrt(2), 1e-12) {
+		t.Fatalf("stddev = %v, want sqrt(2)", d.Stddev())
+	}
+}
+
+func TestDistPercentileInterpolation(t *testing.T) {
+	d := NewDist(0, 10)
+	if got := d.Percentile(50); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("P50 = %v, want 5", got)
+	}
+	if got := d.Percentile(0); got != 0 {
+		t.Fatalf("P0 = %v, want 0", got)
+	}
+	if got := d.Percentile(100); got != 10 {
+		t.Fatalf("P100 = %v, want 10", got)
+	}
+	if got := d.Percentile(-5); got != 0 {
+		t.Fatalf("P(-5) = %v, want clamp to min", got)
+	}
+	if got := d.Percentile(200); got != 10 {
+		t.Fatalf("P(200) = %v, want clamp to max", got)
+	}
+}
+
+func TestDistAddDuration(t *testing.T) {
+	var d Dist
+	d.AddDuration(1500 * time.Millisecond)
+	if !almostEqual(d.Max(), 1.5, 1e-12) {
+		t.Fatalf("duration sample = %v, want 1.5", d.Max())
+	}
+}
+
+func TestCDFFull(t *testing.T) {
+	d := NewDist(3, 1, 2)
+	pts := d.CDF(0)
+	if len(pts) != 3 {
+		t.Fatalf("full CDF should have 3 points, got %d", len(pts))
+	}
+	if pts[0].Value != 1 || !almostEqual(pts[0].Frac, 1.0/3, 1e-12) {
+		t.Fatalf("first point = %+v", pts[0])
+	}
+	if pts[2].Value != 3 || !almostEqual(pts[2].Frac, 1, 1e-12) {
+		t.Fatalf("last point = %+v", pts[2])
+	}
+}
+
+func TestCDFDownsampled(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	pts := d.CDF(10)
+	if len(pts) != 10 {
+		t.Fatalf("want 10 points, got %d", len(pts))
+	}
+	// last point must be the max with frac 1
+	last := pts[len(pts)-1]
+	if last.Value != 100 || !almostEqual(last.Frac, 1, 1e-12) {
+		t.Fatalf("last = %+v", last)
+	}
+	// fractions must be increasing
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Frac <= pts[i-1].Frac || pts[i].Value < pts[i-1].Value {
+			t.Fatalf("CDF not monotone at %d: %+v %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	d := NewDist(1, 2, 2, 3)
+	if got := d.FracBelow(2); !almostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("FracBelow(2) = %v, want 0.75", got)
+	}
+	if got := d.FracBelow(0.5); got != 0 {
+		t.Fatalf("FracBelow(0.5) = %v, want 0", got)
+	}
+	if got := d.FracBelow(10); got != 1 {
+		t.Fatalf("FracBelow(10) = %v, want 1", got)
+	}
+}
+
+// Property: percentiles are monotone and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		d := NewDist(vals...)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := d.Percentile(p)
+			if v < prev || v < d.Min() || v > d.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF FracBelow is consistent with sorted rank.
+func TestFracBelowProperty(t *testing.T) {
+	f := func(raw []float64, x float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) || len(vals) == 0 {
+			return true
+		}
+		d := NewDist(vals...)
+		got := d.FracBelow(x)
+		count := 0
+		for _, v := range vals {
+			if v <= x {
+				count++
+			}
+		}
+		want := float64(count) / float64(len(vals))
+		return almostEqual(got, want, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table X", "name", "value")
+	tbl.AddRow("alpha", 1.0)
+	tbl.AddRow("beta", 2.5)
+	out := tbl.String()
+	if !strings.Contains(out, "Table X") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Fatalf("missing cells: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("want 5 lines, got %d: %q", len(lines), out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5"},
+		{1234, "1234"},
+		{123.45, "123.5"},
+		{5.19, "5.19"},
+		{0.37, "0.3700"},
+		{-2, "-2"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ts TimeSeries
+	ts.Append(0, 100)
+	ts.Append(1, 50)
+	ts.Append(2, 500)
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if got := ts.At(0.5); got != 100 {
+		t.Fatalf("At(0.5) = %v, want 100", got)
+	}
+	if got := ts.At(1); got != 50 {
+		t.Fatalf("At(1) = %v, want 50", got)
+	}
+	if got := ts.At(-1); got != 0 {
+		t.Fatalf("At(-1) = %v, want 0", got)
+	}
+	if got := ts.FirstTimeAtLeast(400); got != 2 {
+		t.Fatalf("FirstTimeAtLeast(400) = %v, want 2", got)
+	}
+	if got := ts.FirstTimeAtLeast(1000); got != -1 {
+		t.Fatalf("FirstTimeAtLeast(1000) = %v, want -1", got)
+	}
+	if got := ts.FirstTimeAtLeastAfter(1.5, 100); got != 2 {
+		t.Fatalf("FirstTimeAtLeastAfter = %v, want 2", got)
+	}
+}
+
+// Property: Dist.CDF values are a subset of the inputs and sorted.
+func TestCDFValuesSortedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		d := NewDist(vals...)
+		pts := d.CDF(0)
+		got := make([]float64, len(pts))
+		for i, p := range pts {
+			got[i] = p.Value
+		}
+		if !sort.Float64sAreSorted(got) {
+			return false
+		}
+		want := append([]float64(nil), vals...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,470 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Control-plane message formats carried as DumbNet frame payloads:
+// topology-discovery probes and replies (paper §4.1), the two-stage link
+// failure notifications (§4.2), and host↔controller path-graph traffic
+// (§4.3). Every message is a one-byte type followed by fixed binary fields
+// and an optional opaque body, encoded big-endian.
+
+// EtherTypeControl marks a DumbNet control-plane payload (inner EtherType).
+const EtherTypeControl uint16 = 0x9801
+
+// MsgType identifies a control message.
+type MsgType uint8
+
+// Control message types.
+const (
+	MsgInvalid MsgType = iota
+	// MsgProbe is a topology-discovery probe message (PM). Its payload
+	// carries the probe's origin and the entire outbound tag path so the
+	// receiver can construct the reverse path.
+	MsgProbe
+	// MsgProbeReply answers a probe with the responder's identity.
+	MsgProbeReply
+	// MsgIDReply is a switch's answer to an ID-query tag: its unique ID.
+	MsgIDReply
+	// MsgLinkEvent is a port up/down notification originated by a switch
+	// and flooded with a hop limit (failure handling stage 1, on-switch).
+	MsgLinkEvent
+	// MsgHostFlood is the host-based flooding of a link event (failure
+	// handling stage 1, on-host).
+	MsgHostFlood
+	// MsgPathRequest asks the controller for paths to a destination.
+	MsgPathRequest
+	// MsgPathResponse returns a serialized path graph.
+	MsgPathResponse
+	// MsgTopoPatch is the controller's stage-2 topology patch flood.
+	MsgTopoPatch
+	// MsgData is opaque application data (used by tests and examples).
+	MsgData
+	// MsgCongestion is a receiver's echo of a congestion-experienced mark
+	// back to the sender (the ECN extension, §8): like TCP's ECE, it tells
+	// the source which destination's path is congested.
+	MsgCongestion
+	// MsgStatsRequest asks a switch for its soft-state packet counters
+	// (the §8 statistics extension). Carried like an ID query: the request
+	// rides a probe path whose query tag punts it to the switch CPU.
+	MsgStatsRequest
+	// MsgStatsReply is the switch's counter snapshot.
+	MsgStatsReply
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgProbe:
+		return "probe"
+	case MsgProbeReply:
+		return "probe-reply"
+	case MsgIDReply:
+		return "id-reply"
+	case MsgLinkEvent:
+		return "link-event"
+	case MsgHostFlood:
+		return "host-flood"
+	case MsgPathRequest:
+		return "path-request"
+	case MsgPathResponse:
+		return "path-response"
+	case MsgTopoPatch:
+		return "topo-patch"
+	case MsgData:
+		return "data"
+	case MsgCongestion:
+		return "congestion"
+	case MsgStatsRequest:
+		return "stats-request"
+	case MsgStatsReply:
+		return "stats-reply"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// SwitchID is the fixed unique identifier burned into each dumb switch.
+type SwitchID uint32
+
+// Probe is a topology-discovery probe message. The prober knows the exact
+// hop sequence it is testing, so it embeds the precomputed reverse tag path
+// a responder must use to reply (§4.1: "reply to the sender using the
+// reverse path contained in the payload").
+type Probe struct {
+	Origin MAC    // the probing host
+	Seq    uint64 // matches replies to outstanding probes
+	Path   Path   // the full outbound tag path, as placed in the header
+	Return Path   // reverse tag path from the probed endpoint back to Origin
+}
+
+// ProbeReply answers a Probe.
+type ProbeReply struct {
+	Responder MAC    // identity of the replying host
+	Seq       uint64 // echoed from the probe
+	Path      Path   // echoed outbound path the probe travelled
+	KnowsCtrl bool   // responder knows the controller's location
+}
+
+// IDReply is a switch's response to an ID-query tag.
+type IDReply struct {
+	ID  SwitchID
+	Seq uint64 // echoed from the probing packet's payload, if present
+}
+
+// LinkEvent reports a port state change at a switch.
+type LinkEvent struct {
+	Switch   SwitchID
+	Port     Tag
+	Up       bool
+	Seq      uint64 // per-switch notification sequence, for suppression
+	HopsLeft uint8  // flood hop limit, decremented per switch
+}
+
+// PathRequest asks the controller for paths from Src to Dst.
+type PathRequest struct {
+	Src, Dst MAC
+	Seq      uint64
+}
+
+// StatsRequest asks for a switch's counters.
+type StatsRequest struct {
+	Origin MAC
+	Seq    uint64
+}
+
+// StatsReply is the switch's soft-state counter snapshot — the "packet
+// statistics" mechanism the paper's conclusion proposes adding to the dumb
+// switch. Losing it costs nothing; it never affects forwarding.
+type StatsReply struct {
+	ID        SwitchID
+	Seq       uint64
+	Forwarded uint64
+	Dropped   uint64
+	Marked    uint64 // ECN marks applied
+	Floods    uint64 // link-event broadcast transmissions
+}
+
+// Congestion is the ECN echo payload.
+type Congestion struct {
+	Reporter MAC    // the host that saw the CE mark
+	Seq      uint64 // reporter-local sequence for dedup/rate accounting
+}
+
+// Blob wraps opaque bytes for MsgPathResponse, MsgTopoPatch, MsgHostFlood
+// and MsgData payloads whose structure belongs to higher layers.
+type Blob struct {
+	Seq  uint64
+	Body []byte
+}
+
+// EncodeControl serialises a control message; msg must be one of the types
+// above (or *Blob for the blob-carrying message types).
+func EncodeControl(t MsgType, msg any) ([]byte, error) {
+	var b []byte
+	put8 := func(v uint8) { b = append(b, v) }
+	put16 := func(v uint16) { b = binary.BigEndian.AppendUint16(b, v) }
+	put32 := func(v uint32) { b = binary.BigEndian.AppendUint32(b, v) }
+	put64 := func(v uint64) { b = binary.BigEndian.AppendUint64(b, v) }
+	putMAC := func(m MAC) { b = append(b, m[:]...) }
+	putPath := func(p Path) {
+		if len(p) > MaxPathLen {
+			p = p[:MaxPathLen]
+		}
+		put16(uint16(len(p)))
+		b = append(b, p...)
+	}
+	put8(uint8(t))
+	switch t {
+	case MsgProbe:
+		m, ok := msg.(*Probe)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		putMAC(m.Origin)
+		put64(m.Seq)
+		putPath(m.Path)
+		putPath(m.Return)
+	case MsgProbeReply:
+		m, ok := msg.(*ProbeReply)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		putMAC(m.Responder)
+		put64(m.Seq)
+		if m.KnowsCtrl {
+			put8(1)
+		} else {
+			put8(0)
+		}
+		putPath(m.Path)
+	case MsgIDReply:
+		m, ok := msg.(*IDReply)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		put32(uint32(m.ID))
+		put64(m.Seq)
+	case MsgLinkEvent:
+		m, ok := msg.(*LinkEvent)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		put32(uint32(m.Switch))
+		put8(m.Port)
+		if m.Up {
+			put8(1)
+		} else {
+			put8(0)
+		}
+		put64(m.Seq)
+		put8(m.HopsLeft)
+	case MsgPathRequest:
+		m, ok := msg.(*PathRequest)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		putMAC(m.Src)
+		putMAC(m.Dst)
+		put64(m.Seq)
+	case MsgCongestion:
+		m, ok := msg.(*Congestion)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		putMAC(m.Reporter)
+		put64(m.Seq)
+	case MsgStatsRequest:
+		m, ok := msg.(*StatsRequest)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		putMAC(m.Origin)
+		put64(m.Seq)
+	case MsgStatsReply:
+		m, ok := msg.(*StatsReply)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		put32(uint32(m.ID))
+		put64(m.Seq)
+		put64(m.Forwarded)
+		put64(m.Dropped)
+		put64(m.Marked)
+		put64(m.Floods)
+	case MsgPathResponse, MsgTopoPatch, MsgHostFlood, MsgData:
+		m, ok := msg.(*Blob)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		put64(m.Seq)
+		put32(uint32(len(m.Body)))
+		b = append(b, m.Body...)
+	default:
+		return nil, ErrUnknownMsgType
+	}
+	return b, nil
+}
+
+// DecodeControl parses a control message, returning its type and one of the
+// message structs above.
+func DecodeControl(b []byte) (MsgType, any, error) {
+	if len(b) < 1 {
+		return MsgInvalid, nil, ErrBadControlMsg
+	}
+	t := MsgType(b[0])
+	b = b[1:]
+	get8 := func() (uint8, bool) {
+		if len(b) < 1 {
+			return 0, false
+		}
+		v := b[0]
+		b = b[1:]
+		return v, true
+	}
+	get16 := func() (uint16, bool) {
+		if len(b) < 2 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint16(b)
+		b = b[2:]
+		return v, true
+	}
+	get32 := func() (uint32, bool) {
+		if len(b) < 4 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		return v, true
+	}
+	get64 := func() (uint64, bool) {
+		if len(b) < 8 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(b)
+		b = b[8:]
+		return v, true
+	}
+	getMAC := func() (MAC, bool) {
+		var m MAC
+		if len(b) < 6 {
+			return m, false
+		}
+		copy(m[:], b[:6])
+		b = b[6:]
+		return m, true
+	}
+	getPath := func() (Path, bool) {
+		n, ok := get16()
+		if !ok || int(n) > MaxPathLen || len(b) < int(n) {
+			return nil, false
+		}
+		p := Path(append([]byte(nil), b[:n]...))
+		b = b[n:]
+		return p, true
+	}
+	fail := func() (MsgType, any, error) { return MsgInvalid, nil, ErrBadControlMsg }
+
+	switch t {
+	case MsgProbe:
+		var m Probe
+		var ok bool
+		if m.Origin, ok = getMAC(); !ok {
+			return fail()
+		}
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		if m.Path, ok = getPath(); !ok {
+			return fail()
+		}
+		if m.Return, ok = getPath(); !ok {
+			return fail()
+		}
+		return t, &m, nil
+	case MsgProbeReply:
+		var m ProbeReply
+		var ok bool
+		if m.Responder, ok = getMAC(); !ok {
+			return fail()
+		}
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		kc, ok := get8()
+		if !ok {
+			return fail()
+		}
+		m.KnowsCtrl = kc != 0
+		if m.Path, ok = getPath(); !ok {
+			return fail()
+		}
+		return t, &m, nil
+	case MsgIDReply:
+		var m IDReply
+		id, ok := get32()
+		if !ok {
+			return fail()
+		}
+		m.ID = SwitchID(id)
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		return t, &m, nil
+	case MsgLinkEvent:
+		var m LinkEvent
+		id, ok := get32()
+		if !ok {
+			return fail()
+		}
+		m.Switch = SwitchID(id)
+		if m.Port, ok = get8(); !ok {
+			return fail()
+		}
+		up, ok := get8()
+		if !ok {
+			return fail()
+		}
+		m.Up = up != 0
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		if m.HopsLeft, ok = get8(); !ok {
+			return fail()
+		}
+		return t, &m, nil
+	case MsgPathRequest:
+		var m PathRequest
+		var ok bool
+		if m.Src, ok = getMAC(); !ok {
+			return fail()
+		}
+		if m.Dst, ok = getMAC(); !ok {
+			return fail()
+		}
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		return t, &m, nil
+	case MsgCongestion:
+		var m Congestion
+		var ok bool
+		if m.Reporter, ok = getMAC(); !ok {
+			return fail()
+		}
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		return t, &m, nil
+	case MsgStatsRequest:
+		var m StatsRequest
+		var ok bool
+		if m.Origin, ok = getMAC(); !ok {
+			return fail()
+		}
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		return t, &m, nil
+	case MsgStatsReply:
+		var m StatsReply
+		id, ok := get32()
+		if !ok {
+			return fail()
+		}
+		m.ID = SwitchID(id)
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		if m.Forwarded, ok = get64(); !ok {
+			return fail()
+		}
+		if m.Dropped, ok = get64(); !ok {
+			return fail()
+		}
+		if m.Marked, ok = get64(); !ok {
+			return fail()
+		}
+		if m.Floods, ok = get64(); !ok {
+			return fail()
+		}
+		return t, &m, nil
+	case MsgPathResponse, MsgTopoPatch, MsgHostFlood, MsgData:
+		var m Blob
+		var ok bool
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		n, ok := get32()
+		if !ok || int(n) != len(b) {
+			return fail()
+		}
+		m.Body = append([]byte(nil), b...)
+		return t, &m, nil
+	default:
+		return MsgInvalid, nil, ErrUnknownMsgType
+	}
+}

@@ -1,0 +1,180 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestControlProbeRoundTrip(t *testing.T) {
+	in := &Probe{Origin: mac(3), Seq: 42, Path: Path{1, 2, 9}, Return: Path{7, 8}}
+	b, err := EncodeControl(MsgProbe, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, out, err := DecodeControl(b)
+	if err != nil || typ != MsgProbe {
+		t.Fatalf("decode: %v %v", typ, err)
+	}
+	got := out.(*Probe)
+	if got.Origin != in.Origin || got.Seq != in.Seq || !bytes.Equal(got.Path, in.Path) || !bytes.Equal(got.Return, in.Return) {
+		t.Fatalf("mismatch: %+v", got)
+	}
+}
+
+func TestControlProbeReplyRoundTrip(t *testing.T) {
+	in := &ProbeReply{Responder: mac(8), Seq: 7, Path: Path{5, 9}, KnowsCtrl: true}
+	b, err := EncodeControl(MsgProbeReply, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, out, err := DecodeControl(b)
+	if err != nil || typ != MsgProbeReply {
+		t.Fatalf("decode: %v %v", typ, err)
+	}
+	got := out.(*ProbeReply)
+	if got.Responder != in.Responder || !got.KnowsCtrl || !bytes.Equal(got.Path, in.Path) {
+		t.Fatalf("mismatch: %+v", got)
+	}
+}
+
+func TestControlIDReplyRoundTrip(t *testing.T) {
+	in := &IDReply{ID: 0xDEADBEEF, Seq: 11}
+	b, err := EncodeControl(MsgIDReply, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, out, err := DecodeControl(b)
+	if err != nil || typ != MsgIDReply {
+		t.Fatalf("decode: %v %v", typ, err)
+	}
+	got := out.(*IDReply)
+	if got.ID != in.ID || got.Seq != in.Seq {
+		t.Fatalf("mismatch: %+v", got)
+	}
+}
+
+func TestControlLinkEventRoundTrip(t *testing.T) {
+	in := &LinkEvent{Switch: 77, Port: 12, Up: false, Seq: 3, HopsLeft: 5}
+	b, err := EncodeControl(MsgLinkEvent, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, out, err := DecodeControl(b)
+	if err != nil || typ != MsgLinkEvent {
+		t.Fatalf("decode: %v %v", typ, err)
+	}
+	got := out.(*LinkEvent)
+	if *got != *in {
+		t.Fatalf("mismatch: %+v != %+v", got, in)
+	}
+}
+
+func TestControlPathRequestRoundTrip(t *testing.T) {
+	in := &PathRequest{Src: mac(1), Dst: mac(2), Seq: 99}
+	b, err := EncodeControl(MsgPathRequest, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, out, err := DecodeControl(b)
+	if err != nil || typ != MsgPathRequest {
+		t.Fatalf("decode: %v %v", typ, err)
+	}
+	got := out.(*PathRequest)
+	if *got != *in {
+		t.Fatalf("mismatch: %+v", got)
+	}
+}
+
+func TestControlBlobRoundTrip(t *testing.T) {
+	for _, typ := range []MsgType{MsgPathResponse, MsgTopoPatch, MsgHostFlood, MsgData} {
+		in := &Blob{Seq: 5, Body: []byte("opaque body")}
+		b, err := EncodeControl(typ, in)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		gt, out, err := DecodeControl(b)
+		if err != nil || gt != typ {
+			t.Fatalf("%v decode: %v %v", typ, gt, err)
+		}
+		got := out.(*Blob)
+		if got.Seq != in.Seq || !bytes.Equal(got.Body, in.Body) {
+			t.Fatalf("%v mismatch: %+v", typ, got)
+		}
+	}
+}
+
+func TestControlTypeMismatch(t *testing.T) {
+	if _, err := EncodeControl(MsgProbe, &IDReply{}); !errors.Is(err, ErrBadControlMsg) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := EncodeControl(MsgType(200), &Blob{}); !errors.Is(err, ErrUnknownMsgType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestControlDecodeMalformed(t *testing.T) {
+	if _, _, err := DecodeControl(nil); !errors.Is(err, ErrBadControlMsg) {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, _, err := DecodeControl([]byte{byte(MsgProbe), 1, 2}); !errors.Is(err, ErrBadControlMsg) {
+		t.Fatalf("short probe: %v", err)
+	}
+	if _, _, err := DecodeControl([]byte{250}); !errors.Is(err, ErrUnknownMsgType) {
+		t.Fatalf("unknown type: %v", err)
+	}
+	// Blob with wrong length prefix.
+	b, _ := EncodeControl(MsgData, &Blob{Body: []byte("abcd")})
+	if _, _, err := DecodeControl(b[:len(b)-1]); !errors.Is(err, ErrBadControlMsg) {
+		t.Fatalf("truncated blob: %v", err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	names := map[MsgType]string{
+		MsgProbe: "probe", MsgProbeReply: "probe-reply", MsgIDReply: "id-reply",
+		MsgLinkEvent: "link-event", MsgHostFlood: "host-flood",
+		MsgPathRequest: "path-request", MsgPathResponse: "path-response",
+		MsgTopoPatch: "topo-patch", MsgData: "data",
+	}
+	for typ, want := range names {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+	if got := MsgType(123).String(); got != "msgtype(123)" {
+		t.Errorf("unknown = %q", got)
+	}
+}
+
+// Property: arbitrary LinkEvents round-trip.
+func TestLinkEventProperty(t *testing.T) {
+	f := func(sw uint32, port, hops uint8, up bool, seq uint64) bool {
+		in := &LinkEvent{Switch: SwitchID(sw), Port: port, Up: up, Seq: seq, HopsLeft: hops}
+		b, err := EncodeControl(MsgLinkEvent, in)
+		if err != nil {
+			return false
+		}
+		_, out, err := DecodeControl(b)
+		if err != nil {
+			return false
+		}
+		return *out.(*LinkEvent) == *in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding random bytes never panics and either fails or
+// re-encodes to a valid message.
+func TestDecodeControlFuzzProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _, _ = DecodeControl(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package packet
+
+import "encoding/binary"
+
+// MPLS encoding of the DumbNet tag stack (paper §5.3): each routing tag is
+// carried in one 4-byte MPLS label stack entry whose 20-bit label value is
+// the output port number. The bottom-of-stack (S) bit replaces the explicit
+// ø terminator. Commodity switches forward with static label→port rules,
+// which is how the paper's Arista testbed runs DumbNet.
+
+// MPLSEntryLen is the size of one MPLS label stack entry.
+const MPLSEntryLen = 4
+
+// mplsEntry packs (label, ttl, bottom) into a 4-byte stack entry.
+func mplsEntry(label uint32, ttl uint8, bottom bool) uint32 {
+	v := label << 12
+	if bottom {
+		v |= 1 << 8
+	}
+	return v | uint32(ttl)
+}
+
+// EncodedLenMPLS returns the wire length of a frame carrying the given path
+// and payload in the MPLS encoding.
+func EncodedLenMPLS(pathLen, payloadLen int) int {
+	// One entry per tag plus the bottom-of-stack ø entry.
+	return EthernetHeaderLen + (pathLen+1)*MPLSEntryLen + 2 + payloadLen
+}
+
+// defaultTTL is written into each label entry; DumbNet paths are loop-free
+// by construction so the TTL never decides anything, but well-formed MPLS
+// needs one.
+const defaultTTL = 64
+
+// EncodeMPLS serialises the frame with an MPLS label stack instead of the
+// native one-byte tag stack. The final (bottom-of-stack) entry carries the
+// ø marker as its label so hosts can validate path completion the same way.
+func (f *Frame) EncodeMPLS() ([]byte, error) {
+	if err := ValidatePath(f.Tags); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, EncodedLenMPLS(len(f.Tags), len(f.Payload)))
+	copy(buf[0:6], f.Dst[:])
+	copy(buf[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeMPLS)
+	off := EthernetHeaderLen
+	for _, t := range f.Tags {
+		binary.BigEndian.PutUint32(buf[off:off+4], mplsEntry(uint32(t), defaultTTL, false))
+		off += MPLSEntryLen
+	}
+	binary.BigEndian.PutUint32(buf[off:off+4], mplsEntry(uint32(TagEnd), defaultTTL, true))
+	off += MPLSEntryLen
+	binary.BigEndian.PutUint16(buf[off:off+2], f.InnerType)
+	off += 2
+	copy(buf[off:], f.Payload)
+	return buf, nil
+}
+
+// DecodeMPLS parses an MPLS-encoded DumbNet frame. The returned Frame's
+// Payload aliases buf; Tags is freshly allocated (labels must be unpacked).
+func DecodeMPLS(buf []byte) (*Frame, error) {
+	if len(buf) < EthernetHeaderLen+MPLSEntryLen+2 {
+		return nil, ErrTooShort
+	}
+	if binary.BigEndian.Uint16(buf[12:14]) != EtherTypeMPLS {
+		return nil, ErrNotMPLS
+	}
+	var f Frame
+	copy(f.Dst[:], buf[0:6])
+	copy(f.Src[:], buf[6:12])
+	off := EthernetHeaderLen
+	for {
+		if off+MPLSEntryLen > len(buf) {
+			return nil, ErrTruncatedMPLS
+		}
+		entry := binary.BigEndian.Uint32(buf[off : off+MPLSEntryLen])
+		label := entry >> 12
+		bottom := entry&(1<<8) != 0
+		off += MPLSEntryLen
+		if bottom {
+			if Tag(label) != TagEnd {
+				// Path not fully consumed when it reached the host.
+				return nil, ErrNotAtEnd
+			}
+			break
+		}
+		f.Tags = append(f.Tags, Tag(label))
+		if len(f.Tags) > MaxPathLen {
+			return nil, ErrPathTooLong
+		}
+	}
+	if off+2 > len(buf) {
+		return nil, ErrTooShort
+	}
+	f.InnerType = binary.BigEndian.Uint16(buf[off : off+2])
+	f.Payload = buf[off+2:]
+	return &f, nil
+}
+
+// TopLabelMPLS returns the first label of an MPLS frame — the switch-side
+// examination in the commodity deployment.
+func TopLabelMPLS(buf []byte) (Tag, bool, error) {
+	if len(buf) < EthernetHeaderLen+MPLSEntryLen {
+		return 0, false, ErrTooShort
+	}
+	if binary.BigEndian.Uint16(buf[12:14]) != EtherTypeMPLS {
+		return 0, false, ErrNotMPLS
+	}
+	entry := binary.BigEndian.Uint32(buf[EthernetHeaderLen : EthernetHeaderLen+MPLSEntryLen])
+	return Tag(entry >> 12), entry&(1<<8) != 0, nil
+}
+
+// PopLabelMPLS removes the top MPLS label in place, mirroring PopTag for the
+// native encoding. It fails with ErrEmptyTagStack when the top entry is the
+// bottom-of-stack ø marker.
+func PopLabelMPLS(buf []byte) ([]byte, Tag, error) {
+	label, bottom, err := TopLabelMPLS(buf)
+	if err != nil {
+		return buf, 0, err
+	}
+	if bottom {
+		return buf, label, ErrEmptyTagStack
+	}
+	copy(buf[MPLSEntryLen:MPLSEntryLen+EthernetHeaderLen], buf[0:EthernetHeaderLen])
+	return buf[MPLSEntryLen:], label, nil
+}

@@ -1,0 +1,112 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMPLSRoundTrip(t *testing.T) {
+	f := &Frame{Dst: mac(7), Src: mac(6), Tags: Path{2, 3, 5}, InnerType: EtherTypeIPv4, Payload: []byte("payload")}
+	buf, err := f.EncodeMPLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != EncodedLenMPLS(3, len(f.Payload)) {
+		t.Fatalf("len = %d", len(buf))
+	}
+	// At the host, the stack must be fully consumed first.
+	for i := 0; i < 3; i++ {
+		var tag Tag
+		buf, tag, err = PopLabelMPLS(buf)
+		if err != nil || tag != f.Tags[i] {
+			t.Fatalf("hop %d: %d %v", i, tag, err)
+		}
+	}
+	g, err := DecodeMPLS(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dst != f.Dst || g.Src != f.Src || g.InnerType != f.InnerType {
+		t.Fatalf("header mismatch: %+v", g)
+	}
+	if len(g.Tags) != 0 || !bytes.Equal(g.Payload, f.Payload) {
+		t.Fatalf("body mismatch: %+v", g)
+	}
+}
+
+func TestMPLSDecodeMidPath(t *testing.T) {
+	f := &Frame{Dst: mac(7), Src: mac(6), Tags: Path{2, 3}, InnerType: EtherTypeIPv4}
+	buf, _ := f.EncodeMPLS()
+	g, err := DecodeMPLS(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g.Tags, f.Tags) {
+		t.Fatalf("tags = %v", g.Tags)
+	}
+}
+
+func TestMPLSTopLabel(t *testing.T) {
+	f := &Frame{Tags: Path{9}, InnerType: EtherTypeIPv4}
+	buf, _ := f.EncodeMPLS()
+	label, bottom, err := TopLabelMPLS(buf)
+	if err != nil || label != 9 || bottom {
+		t.Fatalf("top = %d bottom=%v err=%v", label, bottom, err)
+	}
+	buf, _, err = PopLabelMPLS(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, bottom, err = TopLabelMPLS(buf)
+	if err != nil || label != TagEnd || !bottom {
+		t.Fatalf("after pop: %d %v %v", label, bottom, err)
+	}
+	if _, _, err = PopLabelMPLS(buf); !errors.Is(err, ErrEmptyTagStack) {
+		t.Fatalf("pop bottom: %v", err)
+	}
+}
+
+func TestMPLSErrors(t *testing.T) {
+	if _, err := DecodeMPLS(nil); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("nil: %v", err)
+	}
+	f := &Frame{InnerType: EtherTypeIPv4, Payload: bytes.Repeat([]byte{0}, 32)}
+	buf, _ := f.Encode() // native encoding, not MPLS
+	if _, err := DecodeMPLS(buf); !errors.Is(err, ErrNotMPLS) {
+		t.Fatalf("native frame: %v", err)
+	}
+	// Truncate an MPLS frame mid-stack.
+	buf2, _ := (&Frame{Tags: Path{1, 2, 3}, InnerType: EtherTypeIPv4}).EncodeMPLS()
+	if _, err := DecodeMPLS(buf2[:EthernetHeaderLen+MPLSEntryLen+2]); err == nil {
+		t.Fatal("expected error for truncated stack")
+	}
+}
+
+// Property: native and MPLS encodings agree on decoded content.
+func TestMPLSNativeEquivalenceProperty(t *testing.T) {
+	f := func(nTags uint8, payload []byte) bool {
+		n := int(nTags % 10)
+		tags := make(Path, n)
+		for i := range tags {
+			tags[i] = Tag(i%250 + 1)
+		}
+		fr := &Frame{Dst: mac(1), Src: mac(2), Tags: tags, InnerType: EtherTypeIPv4, Payload: payload}
+		nb, err1 := fr.Encode()
+		mb, err2 := fr.EncodeMPLS()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		g1, err1 := Decode(nb)
+		g2, err2 := DecodeMPLS(mb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return g1.Dst == g2.Dst && g1.Src == g2.Src &&
+			bytes.Equal(g1.Tags, g2.Tags) && bytes.Equal(g1.Payload, g2.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

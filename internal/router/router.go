@@ -1,0 +1,164 @@
+// Package router implements DumbNet's layer-3 extension (paper §6.3): a
+// software router built on ordinary host agents, plus the cross-subnet
+// source-routing shortcut where the router tells a source the combined path
+// so later packets skip the router entirely.
+//
+// Addresses are IPv4-style 32-bit values; the mini IP header carried in the
+// DumbNet payload is 9 bytes: version/proto byte, source IP, destination
+// IP. That is all a routing demonstration needs.
+package router
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"dumbnet/internal/host"
+	"dumbnet/internal/packet"
+)
+
+// IP is a 32-bit address.
+type IP uint32
+
+// Prefix is an address block.
+type Prefix struct {
+	Addr IP
+	Bits int
+}
+
+// Contains reports whether the prefix covers ip.
+func (p Prefix) Contains(ip IP) bool {
+	if p.Bits <= 0 {
+		return true
+	}
+	mask := ^IP(0) << (32 - uint(p.Bits))
+	return ip&mask == p.Addr&mask
+}
+
+// IPHeaderLen is the mini IP header length.
+const IPHeaderLen = 9
+
+// Errors.
+var (
+	ErrShortPacket = errors.New("router: packet shorter than IP header")
+	ErrNoRoute     = errors.New("router: no route to destination")
+	ErrNoARP       = errors.New("router: destination IP has no MAC binding")
+)
+
+// EncodeIP prepends the mini IP header to a payload.
+func EncodeIP(src, dst IP, body []byte) []byte {
+	buf := make([]byte, IPHeaderLen+len(body))
+	buf[0] = 0x45 // version 4-ish marker
+	binary.BigEndian.PutUint32(buf[1:5], uint32(src))
+	binary.BigEndian.PutUint32(buf[5:9], uint32(dst))
+	copy(buf[IPHeaderLen:], body)
+	return buf
+}
+
+// DecodeIP splits the mini IP header from a payload.
+func DecodeIP(b []byte) (src, dst IP, body []byte, err error) {
+	if len(b) < IPHeaderLen {
+		return 0, 0, nil, ErrShortPacket
+	}
+	return IP(binary.BigEndian.Uint32(b[1:5])), IP(binary.BigEndian.Uint32(b[5:9])), b[IPHeaderLen:], nil
+}
+
+// Subnet is one attached network: a prefix plus the IP→MAC bindings of its
+// hosts (the router's ARP table for that side).
+type Subnet struct {
+	Prefix Prefix
+	arp    map[IP]packet.MAC
+}
+
+// Router is "a number of host agents running on the same node" (§6.3) — in
+// a single-fabric deployment, one agent suffices, with per-subnet ARP
+// tables deciding where packets go next.
+type Router struct {
+	agent   *host.Agent
+	subnets []*Subnet
+
+	stats Stats
+}
+
+// Stats counts router activity.
+type Stats struct {
+	Forwarded uint64
+	NoRoute   uint64
+	NoARP     uint64
+	Shortcuts uint64
+}
+
+// New creates a router on an agent. The agent's OnData hook is taken over;
+// attach the router after the agent is bootstrapped.
+func New(agent *host.Agent) *Router {
+	r := &Router{agent: agent}
+	agent.OnData = r.onData
+	return r
+}
+
+// Stats returns a copy of the counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// AddSubnet declares a prefix with its host bindings.
+func (r *Router) AddSubnet(p Prefix, hosts map[IP]packet.MAC) *Subnet {
+	s := &Subnet{Prefix: p, arp: make(map[IP]packet.MAC, len(hosts))}
+	for ip, mac := range hosts {
+		s.arp[ip] = mac
+	}
+	r.subnets = append(r.subnets, s)
+	return s
+}
+
+// Lookup resolves a destination IP to its subnet and MAC.
+func (r *Router) Lookup(dst IP) (packet.MAC, error) {
+	var best *Subnet
+	for _, s := range r.subnets {
+		if s.Prefix.Contains(dst) {
+			if best == nil || s.Prefix.Bits > best.Prefix.Bits {
+				best = s
+			}
+		}
+	}
+	if best == nil {
+		return packet.MAC{}, ErrNoRoute
+	}
+	mac, ok := best.arp[dst]
+	if !ok {
+		return packet.MAC{}, ErrNoARP
+	}
+	return mac, nil
+}
+
+// onData forwards IP packets arriving at the router: unchanged Ethernet
+// forwarding logic, new tags on the way out — exactly a host agent's send.
+func (r *Router) onData(from packet.MAC, innerType uint16, payload []byte) {
+	_, dst, _, err := DecodeIP(payload)
+	if err != nil {
+		return
+	}
+	mac, err := r.Lookup(dst)
+	if err != nil {
+		if errors.Is(err, ErrNoRoute) {
+			r.stats.NoRoute++
+		} else {
+			r.stats.NoARP++
+		}
+		return
+	}
+	r.stats.Forwarded++
+	_ = r.agent.Send(mac, packet.EtherTypeIPv4, payload, host.FlowKey{Dst: mac})
+}
+
+// Shortcut implements the §6.3 optimization: the router reveals the
+// destination's MAC so the source can source-route directly across subnets
+// (its own controller/TopoCache supplies the combined path), bypassing the
+// router for the rest of the flow.
+func (r *Router) Shortcut(dst IP) (packet.MAC, error) {
+	mac, err := r.Lookup(dst)
+	if err == nil {
+		r.stats.Shortcuts++
+	}
+	return mac, err
+}
+
+// MAC returns the router's own address (hosts' default gateway).
+func (r *Router) MAC() packet.MAC { return r.agent.MAC() }

@@ -1,0 +1,128 @@
+// Package sim is a deterministic discrete-event simulator: a virtual clock,
+// an event heap, and link primitives with propagation delay, serialization
+// at finite bandwidth, bounded queues and failure injection. The DumbNet
+// switch and host models execute on top of it, replacing the paper's
+// physical testbed and Mininet-style emulator with a reproducible
+// laptop-scale substrate.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time in nanoseconds since simulation start.
+type Time int64
+
+// Common virtual durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts to a time.Duration for display.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds converts to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromDuration converts a wall-clock duration into virtual time.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)         { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event         { return h[0] }
+func (h *eventHeap) pop() event         { return heap.Pop(h).(event) }
+func (h *eventHeap) push(e event)       { heap.Push(h, e) }
+func (h eventHeap) emptyHeap() bool     { return len(h) == 0 }
+func (h eventHeap) nextEventTime() Time { return h[0].at }
+
+// Engine is the simulation core. It is single-threaded: all event handlers
+// run sequentially in virtual-time order, so models need no locking.
+type Engine struct {
+	now       Time
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	processed uint64
+}
+
+// NewEngine creates an engine whose randomness is derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed reports how many events have executed.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports how many events are scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds of virtual time from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the next event; it reports false when none remain.
+func (e *Engine) Step() bool {
+	if e.events.emptyHeap() {
+		return false
+	}
+	ev := e.events.pop()
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock to
+// the deadline. Events scheduled later stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for !e.events.emptyHeap() && e.events.nextEventTime() <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for d nanoseconds of virtual time from now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

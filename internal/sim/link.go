@@ -1,0 +1,173 @@
+package sim
+
+// Node is anything that can receive frames from a link: a switch or a host
+// NIC. Receive runs at frame-delivery virtual time.
+type Node interface {
+	// Receive is invoked with the local port the frame arrived on and the
+	// frame bytes (owned by the receiver).
+	Receive(port int, frame []byte)
+}
+
+// LinkState notifications are delivered to nodes implementing PortMonitor —
+// the hardware port up/down signal dumb switches rely on (§4.2).
+type PortMonitor interface {
+	PortStateChanged(port int, up bool)
+}
+
+// LinkConfig sets the physical characteristics of a link.
+type LinkConfig struct {
+	// PropDelay is the one-way propagation delay.
+	PropDelay Time
+	// BandwidthBps is the line rate in bits per second; 0 means infinite
+	// (no serialization delay).
+	BandwidthBps float64
+	// MaxBacklog bounds the transmit queue, expressed as queueing delay;
+	// frames that would wait longer are dropped. 0 means a generous
+	// default of 50 ms.
+	MaxBacklog Time
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.MaxBacklog == 0 {
+		c.MaxBacklog = 50 * Millisecond
+	}
+	return c
+}
+
+// LinkStats counts per-direction traffic.
+type LinkStats struct {
+	Frames uint64
+	Bytes  uint64
+	Drops  uint64
+	DownTx uint64 // sends attempted while the link was down
+}
+
+type linkEnd struct {
+	node Node
+	port int
+	// busyUntil is when the transmitter in this direction frees up.
+	busyUntil Time
+	stats     LinkStats
+}
+
+// Link is a full-duplex point-to-point cable between two nodes. Each
+// direction has an independent transmitter with serialization delay and a
+// bounded queue.
+type Link struct {
+	eng  *Engine
+	cfg  LinkConfig
+	a, b linkEnd
+	up   bool
+}
+
+// NewLink wires aNode's aPort to bNode's bPort. The link starts up.
+func NewLink(eng *Engine, aNode Node, aPort int, bNode Node, bPort int, cfg LinkConfig) *Link {
+	return &Link{
+		eng: eng,
+		cfg: cfg.withDefaults(),
+		a:   linkEnd{node: aNode, port: aPort},
+		b:   linkEnd{node: bNode, port: bPort},
+		up:  true,
+	}
+}
+
+// Up reports link state.
+func (l *Link) Up() bool { return l.up }
+
+// Ends returns the two (node, port) endpoints.
+func (l *Link) Ends() (Node, int, Node, int) { return l.a.node, l.a.port, l.b.node, l.b.port }
+
+// StatsFrom returns the transmit stats for the direction originating at the
+// given node (true for endpoint A).
+func (l *Link) StatsFrom(fromA bool) LinkStats {
+	if fromA {
+		return l.a.stats
+	}
+	return l.b.stats
+}
+
+// Backlog reports the current transmit-queue delay in the direction
+// originating at node from — the congestion signal an ECN-marking switch
+// reads from its output port.
+func (l *Link) Backlog(from Node) Time {
+	var tx *linkEnd
+	switch {
+	case from == l.a.node:
+		tx = &l.a
+	case from == l.b.node:
+		tx = &l.b
+	default:
+		return 0
+	}
+	if b := tx.busyUntil - l.eng.Now(); b > 0 {
+		return b
+	}
+	return 0
+}
+
+// SetUp changes link state and notifies both endpoints that implement
+// PortMonitor, modelling the physical-layer signal both sides observe.
+func (l *Link) SetUp(up bool) {
+	if l.up == up {
+		return
+	}
+	l.up = up
+	for _, end := range []*linkEnd{&l.a, &l.b} {
+		if mon, ok := end.node.(PortMonitor); ok {
+			port := end.port
+			l.eng.After(0, func() { mon.PortStateChanged(port, up) })
+		}
+	}
+}
+
+// Fail is shorthand for SetUp(false).
+func (l *Link) Fail() { l.SetUp(false) }
+
+// Restore is shorthand for SetUp(true).
+func (l *Link) Restore() { l.SetUp(true) }
+
+// SendFrom transmits a frame from the endpoint owned by node `from` (which
+// must be one of the link's endpoints; sends from elsewhere panic — that is
+// a wiring bug, not a runtime condition). The frame buffer is owned by the
+// link after the call.
+func (l *Link) SendFrom(from Node, frame []byte) {
+	var tx *linkEnd
+	var rx *linkEnd
+	switch {
+	case from == l.a.node:
+		tx, rx = &l.a, &l.b
+	case from == l.b.node:
+		tx, rx = &l.b, &l.a
+	default:
+		panic("sim: SendFrom by non-endpoint node")
+	}
+	if !l.up {
+		tx.stats.DownTx++
+		return
+	}
+	now := l.eng.Now()
+	start := tx.busyUntil
+	if start < now {
+		start = now
+	}
+	if start-now > l.cfg.MaxBacklog {
+		tx.stats.Drops++
+		return
+	}
+	var txTime Time
+	if l.cfg.BandwidthBps > 0 {
+		bits := float64(len(frame)) * 8
+		txTime = Time(bits / l.cfg.BandwidthBps * float64(Second))
+	}
+	tx.busyUntil = start + txTime
+	tx.stats.Frames++
+	tx.stats.Bytes += uint64(len(frame))
+	deliverAt := tx.busyUntil + l.cfg.PropDelay
+	dst, dstPort := rx.node, rx.port
+	l.eng.At(deliverAt, func() {
+		if !l.up {
+			return // link died while the frame was in flight
+		}
+		dst.Receive(dstPort, frame)
+	})
+}

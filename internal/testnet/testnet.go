@@ -1,0 +1,139 @@
+// Package testnet assembles complete DumbNet deployments — topology, fabric,
+// host agents and a bootstrapped controller — for tests, experiments and
+// examples. It is the programmatic equivalent of racking the paper's
+// testbed.
+package testnet
+
+import (
+	"fmt"
+
+	"dumbnet/internal/controller"
+	"dumbnet/internal/fabric"
+	"dumbnet/internal/host"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// Options configures deployment.
+type Options struct {
+	Seed       int64
+	Fabric     fabric.Config
+	Host       host.Config
+	Controller controller.Config
+	// SkipBootstrap leaves hosts unbootstrapped (for discovery tests that
+	// bring the network up from scratch).
+	SkipBootstrap bool
+}
+
+// DefaultOptions mirrors the prototype deployment.
+func DefaultOptions() Options {
+	return Options{
+		Seed:       1,
+		Fabric:     fabric.DefaultConfig(),
+		Host:       host.DefaultConfig(),
+		Controller: controller.DefaultConfig(),
+	}
+}
+
+// Net is a deployed network.
+type Net struct {
+	Eng    *sim.Engine
+	Topo   *topo.Topology
+	Fab    *fabric.Fabric
+	Ctrl   *controller.Controller
+	Agents map[packet.MAC]*host.Agent
+	// Hosts lists non-controller host MACs in deterministic order.
+	Hosts []packet.MAC
+}
+
+// Build deploys the topology: the first host (by MAC order) becomes the
+// controller; every other host runs a plain agent. Unless SkipBootstrap is
+// set, the controller's master view is installed directly (as if discovery
+// had run) and hello patches are delivered.
+func Build(t *topo.Topology, opts Options) (*Net, error) {
+	eng := sim.NewEngine(opts.Seed)
+	fab, err := fabric.Build(eng, t, opts.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	hosts := t.Hosts()
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("testnet: topology has no hosts")
+	}
+	n := &Net{
+		Eng:    eng,
+		Topo:   t,
+		Fab:    fab,
+		Agents: make(map[packet.MAC]*host.Agent, len(hosts)),
+	}
+	for i, at := range hosts {
+		agent := host.New(eng, at.Host, opts.Host)
+		l, err := fab.AttachHost(at.Host, agent)
+		if err != nil {
+			return nil, err
+		}
+		agent.SetUplink(l)
+		n.Agents[at.Host] = agent
+		if i == 0 {
+			n.Ctrl = controller.New(eng, agent, opts.Controller)
+		} else {
+			n.Hosts = append(n.Hosts, at.Host)
+		}
+	}
+	if !opts.SkipBootstrap {
+		n.Ctrl.SetMaster(t.Clone())
+		if err := n.Ctrl.Bootstrap(); err != nil {
+			return nil, err
+		}
+		eng.Run() // deliver hellos
+	}
+	return n, nil
+}
+
+// Agent returns the agent for a host MAC.
+func (n *Net) Agent(mac packet.MAC) *host.Agent { return n.Agents[mac] }
+
+// Run drains the event queue.
+func (n *Net) Run() { n.Eng.Run() }
+
+// RunFor advances virtual time by d.
+func (n *Net) RunFor(d sim.Time) { n.Eng.RunFor(d) }
+
+// SameTopologyStructure reports whether two topologies have identical
+// switch sets, link sets and host attachments, ignoring per-switch port
+// counts (discovery caps every switch at MaxPorts, so counts differ from
+// generator values).
+func SameTopologyStructure(a, b *topo.Topology) error {
+	aIDs, bIDs := a.SwitchIDs(), b.SwitchIDs()
+	if len(aIDs) != len(bIDs) {
+		return fmt.Errorf("switch count %d vs %d", len(aIDs), len(bIDs))
+	}
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			return fmt.Errorf("switch sets differ at %d: %d vs %d", i, aIDs[i], bIDs[i])
+		}
+	}
+	for _, id := range aIDs {
+		an := a.Neighbors(id)
+		bn := b.Neighbors(id)
+		if len(an) != len(bn) {
+			return fmt.Errorf("switch %d degree %d vs %d", id, len(an), len(bn))
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				return fmt.Errorf("switch %d link %d: %+v vs %+v", id, i, an[i], bn[i])
+			}
+		}
+	}
+	ah, bh := a.Hosts(), b.Hosts()
+	if len(ah) != len(bh) {
+		return fmt.Errorf("host count %d vs %d", len(ah), len(bh))
+	}
+	for i := range ah {
+		if ah[i] != bh[i] {
+			return fmt.Errorf("host %d: %+v vs %+v", i, ah[i], bh[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package topo
+
+import (
+	"dumbnet/internal/packet"
+)
+
+// Topology patches are the controller's stage-2 failure-handling messages
+// (§4.2): small op lists that hosts apply to their TopoCache. They also
+// carry the bootstrap "hello" that tells a freshly discovered host where
+// the controller lives.
+
+// PatchOpKind discriminates patch operations.
+type PatchOpKind uint8
+
+// Patch operation kinds.
+const (
+	OpInvalid PatchOpKind = iota
+	// OpLinkDown removes the link leaving (Switch, Port).
+	OpLinkDown
+	// OpLinkUp adds the link A:PA <-> B:PB.
+	OpLinkUp
+	// OpHostAdd records a host attachment.
+	OpHostAdd
+	// OpHello carries bootstrap info: the controller's identity and the
+	// tag path from the receiving host to it, plus the host's own
+	// attachment point.
+	OpHello
+	// OpSwitchDown removes a switch entirely.
+	OpSwitchDown
+)
+
+// PatchOp is one topology mutation.
+type PatchOp struct {
+	Kind PatchOpKind
+
+	// OpLinkDown / OpSwitchDown
+	Switch SwitchID
+	Port   Port
+
+	// OpLinkUp
+	A, B   SwitchID
+	PA, PB Port
+
+	// OpHostAdd / OpHello
+	Attach HostAttach
+
+	// OpHello
+	Ctrl     MAC
+	CtrlPath packet.Path
+}
+
+// Patch is a versioned list of ops. Version is the controller's topology
+// epoch; hosts ignore patches older than what they have applied.
+type Patch struct {
+	Version uint64
+	Ops     []PatchOp
+}
+
+// Apply mutates a subgraph cache with the patch ops. Hello ops are skipped
+// (they are interpreted by the host agent, not the cache); unknown-switch
+// downs are no-ops.
+func (p *Patch) Apply(s *Subgraph) {
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpLinkDown:
+			s.RemoveEdgeByPort(op.Switch, op.Port)
+		case OpLinkUp:
+			s.AddEdge(op.A, op.PA, op.B, op.PB)
+		case OpHostAdd:
+			s.AddHost(op.Attach)
+		case OpSwitchDown:
+			s.RemoveSwitch(op.Switch)
+		}
+	}
+}
+
+// Marshal serialises the patch.
+func (p *Patch) Marshal() []byte {
+	w := &wr{}
+	w.u16(0xD0B4)
+	w.u8(wireVersion)
+	w.b = append(w.b, byte(p.Version>>56), byte(p.Version>>48), byte(p.Version>>40), byte(p.Version>>32),
+		byte(p.Version>>24), byte(p.Version>>16), byte(p.Version>>8), byte(p.Version))
+	w.u16(uint16(len(p.Ops)))
+	for _, op := range p.Ops {
+		w.u8(uint8(op.Kind))
+		switch op.Kind {
+		case OpLinkDown, OpSwitchDown:
+			w.u32(uint32(op.Switch))
+			w.u8(op.Port)
+		case OpLinkUp:
+			w.u32(uint32(op.A))
+			w.u8(op.PA)
+			w.u32(uint32(op.B))
+			w.u8(op.PB)
+		case OpHostAdd:
+			w.mac(op.Attach.Host)
+			w.u32(uint32(op.Attach.Switch))
+			w.u8(op.Attach.Port)
+		case OpHello:
+			w.mac(op.Attach.Host)
+			w.u32(uint32(op.Attach.Switch))
+			w.u8(op.Attach.Port)
+			w.mac(op.Ctrl)
+			w.u16(uint16(len(op.CtrlPath)))
+			w.b = append(w.b, op.CtrlPath...)
+		}
+	}
+	return w.b
+}
+
+// UnmarshalPatch parses a serialized patch.
+func UnmarshalPatch(b []byte) (*Patch, error) {
+	r := &rd{b: b, ok: true}
+	if r.u16() != 0xD0B4 || r.u8() != wireVersion {
+		return nil, ErrBadTopology
+	}
+	var version uint64
+	for i := 0; i < 8; i++ {
+		version = version<<8 | uint64(r.u8())
+	}
+	n := int(r.u16())
+	if !r.ok || n > 1<<20 {
+		return nil, ErrBadTopology
+	}
+	p := &Patch{Version: version}
+	for i := 0; i < n; i++ {
+		op := PatchOp{Kind: PatchOpKind(r.u8())}
+		switch op.Kind {
+		case OpLinkDown, OpSwitchDown:
+			op.Switch = SwitchID(r.u32())
+			op.Port = Port(r.u8())
+		case OpLinkUp:
+			op.A = SwitchID(r.u32())
+			op.PA = Port(r.u8())
+			op.B = SwitchID(r.u32())
+			op.PB = Port(r.u8())
+		case OpHostAdd:
+			op.Attach.Host = r.mac()
+			op.Attach.Switch = SwitchID(r.u32())
+			op.Attach.Port = Port(r.u8())
+		case OpHello:
+			op.Attach.Host = r.mac()
+			op.Attach.Switch = SwitchID(r.u32())
+			op.Attach.Port = Port(r.u8())
+			op.Ctrl = r.mac()
+			pl := int(r.u16())
+			if !r.ok || pl > packet.MaxPathLen || len(r.b) < pl {
+				return nil, ErrBadTopology
+			}
+			op.CtrlPath = packet.Path(append([]byte(nil), r.b[:pl]...))
+			r.b = r.b[pl:]
+		default:
+			return nil, ErrBadTopology
+		}
+		if !r.ok {
+			return nil, ErrBadTopology
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	if !r.ok || len(r.b) != 0 {
+		return nil, ErrBadTopology
+	}
+	return p, nil
+}

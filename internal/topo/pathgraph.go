@@ -1,0 +1,210 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path graph construction (paper §4.3, Algorithm 1). A path graph is the
+// unit of caching between controller and host: a primary shortest path,
+// "s-steps ε-good" local detours around every segment of it, and a backup
+// path that avoids the primary's links where possible.
+
+// PathGraphOptions tunes Algorithm 1.
+type PathGraphOptions struct {
+	// S is the maximum number of consecutive primary-path hops a local
+	// detour may replace (paper constant s, default 2).
+	S int
+	// Epsilon is the allowed extra length of a detour: a detour around an
+	// s-hop segment may be up to s+ε hops (paper constant ε, default 1).
+	Epsilon int
+	// BackupPenalty is the multiplicative link cost applied to primary
+	// path links when computing the backup path (default 8).
+	BackupPenalty float64
+}
+
+func (o PathGraphOptions) withDefaults() PathGraphOptions {
+	if o.S <= 0 {
+		o.S = 2
+	}
+	if o.Epsilon < 0 {
+		o.Epsilon = 1
+	}
+	if o.BackupPenalty <= 0 {
+		o.BackupPenalty = 8
+	}
+	return o
+}
+
+// PathGraph is the controller's answer to a path request: a connected
+// subgraph of the fabric containing the primary path, local detours, and a
+// backup path, plus the attachment points needed to turn switch paths into
+// tag paths.
+type PathGraph struct {
+	Src, Dst MAC
+	Primary  SwitchPath
+	Backup   SwitchPath
+	Graph    *Subgraph
+}
+
+// BuildPathGraph runs Algorithm 1 on the full topology for the host pair
+// (src, dst). rng (optional) randomizes equal-cost primary choices.
+func BuildPathGraph(t *Topology, src, dst MAC, opts PathGraphOptions, rng *rand.Rand) (*PathGraph, error) {
+	opts = opts.withDefaults()
+	sat, err := t.HostAt(src)
+	if err != nil {
+		return nil, err
+	}
+	dat, err := t.HostAt(dst)
+	if err != nil {
+		return nil, err
+	}
+	primary, err := ShortestPath(t, sat.Switch, dat.Switch, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Backup: re-run shortest path with primary links penalized, so it
+	// shares as few links as possible (unless unavoidable).
+	onPrimary := map[[2]SwitchID]bool{}
+	for i := 0; i+1 < len(primary); i++ {
+		onPrimary[[2]SwitchID{primary[i], primary[i+1]}] = true
+		onPrimary[[2]SwitchID{primary[i+1], primary[i]}] = true
+	}
+	backup, err := WeightedShortestPath(t, sat.Switch, dat.Switch, func(a, b SwitchID) float64 {
+		if onPrimary[[2]SwitchID{a, b}] {
+			return opts.BackupPenalty
+		}
+		return 1
+	})
+	if err != nil {
+		// A backup is best-effort: single-homed segments may have none.
+		backup = nil
+	}
+
+	nodes := detourNodes(t, primary, opts)
+	for _, sw := range backup {
+		nodes[sw] = true
+	}
+
+	// Induce the subgraph on the node set.
+	g := NewSubgraph()
+	for sw := range nodes {
+		for _, nb := range t.Neighbors(sw) {
+			if nodes[nb.Sw] {
+				rp, err := t.PortToward(nb.Sw, sw)
+				if err != nil {
+					return nil, err
+				}
+				g.AddEdge(sw, nb.Port, nb.Sw, rp)
+			}
+		}
+	}
+	g.AddHost(sat)
+	g.AddHost(dat)
+	return &PathGraph{Src: src, Dst: dst, Primary: primary, Backup: backup, Graph: g}, nil
+}
+
+// detourNodes implements the loop body of Algorithm 1: for every s-hop
+// window [a=p_i, b=p_{i+s}] of the primary path, add all switches x with
+// dist(a,x)+dist(x,b) <= s+ε, advancing i by s/2 (at least 1).
+func detourNodes(t *Topology, primary SwitchPath, opts PathGraphOptions) map[SwitchID]bool {
+	nodes := make(map[SwitchID]bool, len(primary)*4)
+	for _, sw := range primary {
+		nodes[sw] = true
+	}
+	l := len(primary)
+	step := opts.S / 2
+	if step < 1 {
+		step = 1
+	}
+	bound := opts.S + opts.Epsilon
+	for i := 0; i < l-1; i += step {
+		aIdx := i
+		bIdx := i + opts.S
+		if bIdx > l-1 {
+			bIdx = l - 1
+		}
+		a, b := primary[aIdx], primary[bIdx]
+		da := boundedDistances(t, a, bound)
+		db := boundedDistances(t, b, bound)
+		for x, dxa := range da {
+			if dxb, ok := db[x]; ok && dxa+dxb <= bound {
+				nodes[x] = true
+			}
+		}
+		if bIdx == l-1 && i+step >= l-1 {
+			break
+		}
+	}
+	return nodes
+}
+
+// boundedDistances is BFS truncated at maxDepth hops.
+func boundedDistances(v View, src SwitchID, maxDepth int) map[SwitchID]int {
+	dist := map[SwitchID]int{src: 0}
+	queue := []SwitchID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if dist[cur] >= maxDepth {
+			continue
+		}
+		for _, nb := range v.Neighbors(cur) {
+			if _, ok := dist[nb.Sw]; !ok {
+				dist[nb.Sw] = dist[cur] + 1
+				queue = append(queue, nb.Sw)
+			}
+		}
+	}
+	return dist
+}
+
+// Validate checks internal consistency: primary and backup lie inside the
+// subgraph and connect the two attachment switches.
+func (pg *PathGraph) Validate() error {
+	sat, err := pg.Graph.HostAt(pg.Src)
+	if err != nil {
+		return fmt.Errorf("pathgraph: src attach missing: %w", err)
+	}
+	dat, err := pg.Graph.HostAt(pg.Dst)
+	if err != nil {
+		return fmt.Errorf("pathgraph: dst attach missing: %w", err)
+	}
+	check := func(name string, p SwitchPath) error {
+		if len(p) == 0 {
+			return nil
+		}
+		if p[0] != sat.Switch || p[len(p)-1] != dat.Switch {
+			return fmt.Errorf("pathgraph: %s endpoints %d..%d, want %d..%d",
+				name, p[0], p[len(p)-1], sat.Switch, dat.Switch)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if _, err := pg.Graph.PortToward(p[i], p[i+1]); err != nil {
+				return fmt.Errorf("pathgraph: %s hop %d->%d not in subgraph", name, p[i], p[i+1])
+			}
+		}
+		return nil
+	}
+	if len(pg.Primary) == 0 {
+		return fmt.Errorf("pathgraph: empty primary path")
+	}
+	if err := check("primary", pg.Primary); err != nil {
+		return err
+	}
+	return check("backup", pg.Backup)
+}
+
+// PrimaryTags encodes the primary path as header tags.
+func (pg *PathGraph) PrimaryTags() (p []Port, err error) {
+	return pg.Graph.TagsForSwitchPath(pg.Primary, pg.Dst)
+}
+
+// BackupTags encodes the backup path as header tags (ErrNoPath when the
+// path graph has no backup).
+func (pg *PathGraph) BackupTags() ([]Port, error) {
+	if len(pg.Backup) == 0 {
+		return nil, ErrNoPath
+	}
+	return pg.Graph.TagsForSwitchPath(pg.Backup, pg.Dst)
+}

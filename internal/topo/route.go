@@ -1,0 +1,373 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dumbnet/internal/packet"
+)
+
+// View is a read-only adjacency view of a switch graph. Both the full
+// Topology and a cached PathGraph implement it, so routing algorithms run
+// unchanged on either (hosts route within their cache, the controller
+// within the global view).
+type View interface {
+	// Neighbors returns adjacent switches in deterministic order.
+	Neighbors(id SwitchID) []Neighbor
+}
+
+// SwitchPath is a hop-by-hop sequence of switch IDs, source-side first.
+type SwitchPath []SwitchID
+
+// Equal reports element-wise equality.
+func (p SwitchPath) Equal(o SwitchPath) bool {
+	if len(p) != len(o) {
+		return false
+	}
+	for i := range p {
+		if p[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the path.
+func (p SwitchPath) Clone() SwitchPath { return append(SwitchPath(nil), p...) }
+
+// Distances returns BFS hop counts from src to every reachable switch.
+func Distances(v View, src SwitchID) map[SwitchID]int {
+	dist := map[SwitchID]int{src: 0}
+	queue := []SwitchID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range v.Neighbors(cur) {
+			if _, ok := dist[nb.Sw]; !ok {
+				dist[nb.Sw] = dist[cur] + 1
+				queue = append(queue, nb.Sw)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest switch path from src to dst. When rng is
+// non-nil, ties between equal-cost next hops are broken uniformly at random
+// (paper §4.3: "randomizes the choice for equal cost links ... useful for
+// load balancing"); with a nil rng the lowest-port neighbor wins, making the
+// result deterministic.
+func ShortestPath(v View, src, dst SwitchID, rng *rand.Rand) (SwitchPath, error) {
+	if src == dst {
+		return SwitchPath{src}, nil
+	}
+	// BFS from dst so dist[x] is hops to destination; then walk downhill.
+	dist := Distances(v, dst)
+	if _, ok := dist[src]; !ok {
+		return nil, ErrNoPath
+	}
+	path := SwitchPath{src}
+	cur := src
+	for cur != dst {
+		var candidates []SwitchID
+		want := dist[cur] - 1
+		for _, nb := range v.Neighbors(cur) {
+			if d, ok := dist[nb.Sw]; ok && d == want {
+				candidates = append(candidates, nb.Sw)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, ErrNoPath
+		}
+		next := candidates[0]
+		if rng != nil && len(candidates) > 1 {
+			next = candidates[rng.Intn(len(candidates))]
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, nil
+}
+
+// WeightedShortestPath runs Dijkstra with per-link weights given by cost
+// (defaulting to 1 when cost returns 0 or less). Used for backup-path
+// computation, where primary-path links are made expensive (§4.3).
+func WeightedShortestPath(v View, src, dst SwitchID, cost func(a, b SwitchID) float64) (SwitchPath, error) {
+	type qitem struct {
+		sw   SwitchID
+		dist float64
+	}
+	dist := map[SwitchID]float64{src: 0}
+	prev := map[SwitchID]SwitchID{}
+	visited := map[SwitchID]bool{}
+	// Simple heap-free Dijkstra; graphs here are small enough, and the
+	// deterministic scan order keeps results reproducible.
+	for {
+		// Pick the unvisited node with the smallest distance.
+		best := qitem{dist: -1}
+		for sw, d := range dist {
+			if visited[sw] {
+				continue
+			}
+			if best.dist < 0 || d < best.dist || (d == best.dist && sw < best.sw) {
+				best = qitem{sw: sw, dist: d}
+			}
+		}
+		if best.dist < 0 {
+			return nil, ErrNoPath
+		}
+		if best.sw == dst {
+			break
+		}
+		visited[best.sw] = true
+		for _, nb := range v.Neighbors(best.sw) {
+			if visited[nb.Sw] {
+				continue
+			}
+			w := cost(best.sw, nb.Sw)
+			if w <= 0 {
+				w = 1
+			}
+			nd := best.dist + w
+			if d, ok := dist[nb.Sw]; !ok || nd < d {
+				dist[nb.Sw] = nd
+				prev[nb.Sw] = best.sw
+			}
+		}
+	}
+	// Reconstruct.
+	var rev SwitchPath
+	for cur := dst; ; {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+		p, ok := prev[cur]
+		if !ok {
+			return nil, ErrNoPath
+		}
+		cur = p
+	}
+	out := make(SwitchPath, len(rev))
+	for i, sw := range rev {
+		out[len(rev)-1-i] = sw
+	}
+	return out, nil
+}
+
+// KShortestPaths returns up to k loop-free shortest paths from src to dst in
+// ascending length order (Yen's algorithm over the unweighted view). Paths
+// of equal length are ordered deterministically.
+func KShortestPaths(v View, src, dst SwitchID, k int) ([]SwitchPath, error) {
+	first, err := ShortestPath(v, src, dst, nil)
+	if err != nil {
+		return nil, err
+	}
+	paths := []SwitchPath{first}
+	if k <= 1 {
+		return paths, nil
+	}
+	var candidates []SwitchPath
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		// For each spur node in the previous path...
+		for i := 0; i < len(last)-1; i++ {
+			spur := last[i]
+			root := last[:i+1].Clone()
+			// Build a filtered view: remove links used by previous
+			// paths sharing this root, and remove root nodes.
+			removedEdges := map[[2]SwitchID]bool{}
+			for _, p := range paths {
+				if len(p) > i && p[:i+1].Equal(root) && len(p) > i+1 {
+					removedEdges[[2]SwitchID{p[i], p[i+1]}] = true
+					removedEdges[[2]SwitchID{p[i+1], p[i]}] = true
+				}
+			}
+			removedNodes := map[SwitchID]bool{}
+			for _, sw := range root[:len(root)-1] {
+				removedNodes[sw] = true
+			}
+			fv := filteredView{v: v, edges: removedEdges, nodes: removedNodes}
+			spurPath, err := ShortestPath(fv, spur, dst, nil)
+			if err != nil {
+				continue
+			}
+			total := append(root[:len(root)-1].Clone(), spurPath...)
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if len(candidates[a]) != len(candidates[b]) {
+				return len(candidates[a]) < len(candidates[b])
+			}
+			return lessPath(candidates[a], candidates[b])
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func containsPath(haystack []SwitchPath, p SwitchPath) bool {
+	for _, h := range haystack {
+		if h.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func lessPath(a, b SwitchPath) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// filteredView hides a set of edges and nodes from an underlying view.
+type filteredView struct {
+	v     View
+	edges map[[2]SwitchID]bool
+	nodes map[SwitchID]bool
+}
+
+func (f filteredView) Neighbors(id SwitchID) []Neighbor {
+	if f.nodes[id] {
+		return nil
+	}
+	var out []Neighbor
+	for _, nb := range f.v.Neighbors(id) {
+		if f.nodes[nb.Sw] || f.edges[[2]SwitchID{id, nb.Sw}] {
+			continue
+		}
+		out = append(out, nb)
+	}
+	return out
+}
+
+// TagsForSwitchPath encodes a switch-level path into the outgoing-port tag
+// sequence a packet header carries: for each hop the local port toward the
+// next switch, and finally the port where the destination host attaches.
+func (t *Topology) TagsForSwitchPath(sp SwitchPath, dst MAC) (packet.Path, error) {
+	if len(sp) == 0 {
+		return nil, ErrNoPath
+	}
+	at, err := t.HostAt(dst)
+	if err != nil {
+		return nil, err
+	}
+	if at.Switch != sp[len(sp)-1] {
+		return nil, fmt.Errorf("%w: path ends at switch %d, host on %d", ErrPathInvalid, sp[len(sp)-1], at.Switch)
+	}
+	tags := make(packet.Path, 0, len(sp))
+	for i := 0; i+1 < len(sp); i++ {
+		p, err := t.PortToward(sp[i], sp[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: no link %d->%d", ErrNoLink, sp[i], sp[i+1])
+		}
+		tags = append(tags, p)
+	}
+	tags = append(tags, at.Port)
+	return tags, nil
+}
+
+// HostPath computes one source-routed tag path from host src to host dst
+// over the topology, with randomized equal-cost choice when rng != nil.
+func (t *Topology) HostPath(src, dst MAC, rng *rand.Rand) (packet.Path, error) {
+	sat, err := t.HostAt(src)
+	if err != nil {
+		return nil, err
+	}
+	dat, err := t.HostAt(dst)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := ShortestPath(t, sat.Switch, dat.Switch, rng)
+	if err != nil {
+		return nil, err
+	}
+	return t.TagsForSwitchPath(sp, dst)
+}
+
+// WalkTags follows a tag path starting from the switch where host src
+// attaches and returns the endpoint the final tag reaches. It is the host
+// agent's path verifier (§6.1): a route is accepted only if walking it lands
+// on the intended destination.
+func (t *Topology) WalkTags(src MAC, tags packet.Path) (Endpoint, error) {
+	at, err := t.HostAt(src)
+	if err != nil {
+		return Endpoint{}, err
+	}
+	cur := at.Switch
+	for i, tag := range tags {
+		ep, err := t.EndpointAt(cur, tag)
+		if err != nil {
+			return Endpoint{}, err
+		}
+		switch ep.Kind {
+		case EndpointNone:
+			return Endpoint{}, fmt.Errorf("%w: hop %d dead port %d on switch %d", ErrPathInvalid, i, tag, cur)
+		case EndpointHost:
+			if i != len(tags)-1 {
+				return Endpoint{}, fmt.Errorf("%w: reached host mid-path at hop %d", ErrPathInvalid, i)
+			}
+			return ep, nil
+		case EndpointSwitch:
+			if i == len(tags)-1 {
+				return Endpoint{}, fmt.Errorf("%w: path ends on a switch-to-switch link", ErrPathInvalid)
+			}
+			cur = ep.Switch
+		}
+	}
+	return Endpoint{}, fmt.Errorf("%w: empty path", ErrPathInvalid)
+}
+
+// VerifyTags reports whether tags routes src's packets to dst.
+func (t *Topology) VerifyTags(src, dst MAC, tags packet.Path) error {
+	ep, err := t.WalkTags(src, tags)
+	if err != nil {
+		return err
+	}
+	if ep.Kind != EndpointHost || ep.Host != dst {
+		return fmt.Errorf("%w: path reaches %v, want %v", ErrPathInvalid, ep.Host, dst)
+	}
+	return nil
+}
+
+// ReverseTags computes the reverse tag path for a forward path from src to
+// dst (ports differ per direction, so this requires topology knowledge).
+func (t *Topology) ReverseTags(src, dst MAC, tags packet.Path) (packet.Path, error) {
+	sat, err := t.HostAt(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.VerifyTags(src, dst, tags); err != nil {
+		return nil, err
+	}
+	// Collect the switch sequence along the forward path.
+	seq := SwitchPath{sat.Switch}
+	cur := sat.Switch
+	for i := 0; i+1 < len(tags); i++ {
+		ep, err := t.EndpointAt(cur, tags[i])
+		if err != nil {
+			return nil, err
+		}
+		cur = ep.Switch
+		seq = append(seq, cur)
+	}
+	rev := make(SwitchPath, len(seq))
+	for i, sw := range seq {
+		rev[len(seq)-1-i] = sw
+	}
+	return t.TagsForSwitchPath(rev, src)
+}

@@ -1,0 +1,132 @@
+package vnet_test
+
+import (
+	"testing"
+
+	"dumbnet/internal/packet"
+	"dumbnet/internal/testnet"
+	"dumbnet/internal/topo"
+	"dumbnet/internal/vnet"
+)
+
+// End-to-end §6.1: the controller's path service enforces tenant isolation
+// over the live fabric.
+
+func deployTenants(t *testing.T) (*testnet.Net, *vnet.Manager, []packet.MAC, []packet.MAC) {
+	t.Helper()
+	tp, err := topo.Testbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := testnet.Build(tp, testnet.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := vnet.NewManager(n.Ctrl.Master(), topo.PathGraphOptions{}, 1)
+	red := n.Hosts[0:4]
+	blue := n.Hosts[10:14]
+	if _, err := mgr.CreateTenant("red", red); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.CreateTenant("blue", blue); err != nil {
+		t.Fatal(err)
+	}
+	n.Ctrl.SetVirtualization(vnet.ControllerAdapter{M: mgr})
+	return n, mgr, red, blue
+}
+
+func TestTenantTrafficFlows(t *testing.T) {
+	n, _, red, _ := deployTenants(t)
+	got := 0
+	n.Agent(red[1]).OnData = func(packet.MAC, uint16, []byte) { got++ }
+	if err := n.Agent(red[0]).SendData(red[1], []byte("intra-tenant")); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if got != 1 {
+		t.Fatal("intra-tenant traffic blocked")
+	}
+}
+
+func TestCrossTenantTrafficRefused(t *testing.T) {
+	n, _, red, blue := deployTenants(t)
+	got := 0
+	n.Agent(blue[0]).OnData = func(packet.MAC, uint16, []byte) { got++ }
+	// The send queues and queries the controller; the controller refuses,
+	// so nothing is ever delivered.
+	if err := n.Agent(red[0]).SendData(blue[0], []byte("escape?")); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if got != 0 {
+		t.Fatal("cross-tenant traffic delivered")
+	}
+	if n.Ctrl.Stats().PathRefused == 0 {
+		t.Fatal("controller recorded no refusals")
+	}
+}
+
+func TestUntenantedHostsUnaffected(t *testing.T) {
+	n, _, _, _ := deployTenants(t)
+	free1, free2 := n.Hosts[20], n.Hosts[21]
+	got := 0
+	n.Agent(free2).OnData = func(packet.MAC, uint16, []byte) { got++ }
+	if err := n.Agent(free1).SendData(free2, []byte("global")); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if got != 1 {
+		t.Fatal("untenanted traffic blocked by virtualization")
+	}
+}
+
+func TestTenantCacheStaysInSlice(t *testing.T) {
+	n, mgr, red, _ := deployTenants(t)
+	_ = n.Agent(red[0]).SendData(red[3], []byte("warm"))
+	n.Run()
+	// The tenant's TopoCache must match the slice, not the fabric.
+	ten, _ := mgr.Tenant("red")
+	cache := n.Agent(red[0]).Cache()
+	if cache.NumSwitches() > ten.View().NumSwitches() {
+		t.Fatalf("tenant cache (%d switches) exceeds slice (%d)",
+			cache.NumSwitches(), ten.View().NumSwitches())
+	}
+}
+
+func TestTenantOfAndDelete(t *testing.T) {
+	_, mgr, red, _ := deployTenants(t)
+	if id, ok := mgr.TenantOf(red[0]); !ok || id != "red" {
+		t.Fatalf("TenantOf = %v %v", id, ok)
+	}
+	if err := mgr.DeleteTenant("red"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mgr.TenantOf(red[0]); ok {
+		t.Fatal("membership survived delete")
+	}
+}
+
+func TestPathGraphForValidates(t *testing.T) {
+	n, mgr, red, blue := deployTenants(t)
+	pg, err := mgr.PathGraphFor("red", red[0], red[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The returned tags must be valid on the real fabric.
+	tags, err := pg.PrimaryTags()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Topo.VerifyTags(red[0], red[2], tags); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.PathGraphFor("red", red[0], blue[0]); err == nil {
+		t.Fatal("cross-tenant path graph built")
+	}
+	if _, err := mgr.PathGraphFor("nope", red[0], red[1]); err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+}

@@ -1,0 +1,253 @@
+// Package vnet implements DumbNet's network-virtualization extension
+// (paper §6.1): tenants receive restricted topology views — the TopoCache
+// "reveals partial or entire network topology based on permission" — and a
+// path verifier rejects routes that leave a tenant's slice or touch foreign
+// hosts, "to prevent malicious applications from violating the separation".
+package vnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dumbnet/internal/packet"
+	"dumbnet/internal/topo"
+)
+
+// TenantID names a virtual network.
+type TenantID string
+
+// Errors.
+var (
+	ErrDupTenant     = errors.New("vnet: tenant already exists")
+	ErrNoTenant      = errors.New("vnet: no such tenant")
+	ErrForeignHost   = errors.New("vnet: host not in tenant")
+	ErrOutsideSlice  = errors.New("vnet: route leaves tenant slice")
+	ErrNotRoutable   = errors.New("vnet: tenant hosts not mutually reachable")
+	ErrEmptyTenant   = errors.New("vnet: tenant needs at least two hosts")
+	ErrUnknownSwitch = errors.New("vnet: route crosses unknown switch")
+)
+
+// Tenant is one virtual network slice.
+type Tenant struct {
+	ID    TenantID
+	hosts map[packet.MAC]bool
+	view  *topo.Subgraph
+}
+
+// Hosts lists the tenant's member MACs (order unspecified).
+func (t *Tenant) Hosts() []packet.MAC {
+	out := make([]packet.MAC, 0, len(t.hosts))
+	for m := range t.hosts {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Contains reports membership.
+func (t *Tenant) Contains(m packet.MAC) bool { return t.hosts[m] }
+
+// View returns the tenant's topology slice — what its applications may see.
+func (t *Tenant) View() *topo.Subgraph { return t.view }
+
+// Manager carves tenant views out of a master topology. It lives beside
+// the controller; the controller consults it when answering path requests
+// from tenant-tagged hosts.
+type Manager struct {
+	master  *topo.Topology
+	opts    topo.PathGraphOptions
+	tenants map[TenantID]*Tenant
+	byHost  map[packet.MAC]TenantID
+	rng     *rand.Rand
+}
+
+// NewManager creates a manager over the master view.
+func NewManager(master *topo.Topology, opts topo.PathGraphOptions, seed int64) *Manager {
+	return &Manager{
+		master:  master,
+		opts:    opts,
+		tenants: make(map[TenantID]*Tenant),
+		byHost:  make(map[packet.MAC]TenantID),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// CreateTenant builds a slice covering the given hosts: the union of path
+// graphs between every host pair, so members can reach each other with
+// detour headroom but see nothing else.
+func (m *Manager) CreateTenant(id TenantID, hosts []packet.MAC) (*Tenant, error) {
+	if _, ok := m.tenants[id]; ok {
+		return nil, ErrDupTenant
+	}
+	if len(hosts) < 2 {
+		return nil, ErrEmptyTenant
+	}
+	view := topo.NewSubgraph()
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			pg, err := topo.BuildPathGraph(m.master, hosts[i], hosts[j], m.opts, m.rng)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v<->%v: %v", ErrNotRoutable, hosts[i], hosts[j], err)
+			}
+			view.Merge(pg.Graph)
+		}
+	}
+	t := &Tenant{ID: id, hosts: make(map[packet.MAC]bool, len(hosts)), view: view}
+	for _, h := range hosts {
+		t.hosts[h] = true
+		m.byHost[h] = id
+	}
+	m.tenants[id] = t
+	return t, nil
+}
+
+// TenantOf reports which tenant a host belongs to (a host joins at most
+// one tenant through this manager).
+func (m *Manager) TenantOf(h packet.MAC) (TenantID, bool) {
+	id, ok := m.byHost[h]
+	return id, ok
+}
+
+// PathGraphFor builds the controller's answer to a tenant host's path
+// request: the primary/backup routes computed inside the slice, with the
+// slice itself as the cached subgraph — the tenant's TopoCache never learns
+// anything outside its permission (§6.1).
+func (m *Manager) PathGraphFor(id TenantID, src, dst packet.MAC) (*topo.PathGraph, error) {
+	t, err := m.Tenant(id)
+	if err != nil {
+		return nil, err
+	}
+	if !t.Contains(src) || !t.Contains(dst) {
+		return nil, ErrForeignHost
+	}
+	sat, err := t.view.HostAt(src)
+	if err != nil {
+		return nil, ErrForeignHost
+	}
+	dat, err := t.view.HostAt(dst)
+	if err != nil {
+		return nil, ErrForeignHost
+	}
+	primary, err := topo.ShortestPath(t.view, sat.Switch, dat.Switch, m.rng)
+	if err != nil {
+		return nil, err
+	}
+	onPrimary := map[[2]topo.SwitchID]bool{}
+	for i := 0; i+1 < len(primary); i++ {
+		onPrimary[[2]topo.SwitchID{primary[i], primary[i+1]}] = true
+		onPrimary[[2]topo.SwitchID{primary[i+1], primary[i]}] = true
+	}
+	backup, err := topo.WeightedShortestPath(t.view, sat.Switch, dat.Switch,
+		func(a, b topo.SwitchID) float64 {
+			if onPrimary[[2]topo.SwitchID{a, b}] {
+				return 8
+			}
+			return 1
+		})
+	if err != nil {
+		backup = nil
+	}
+	return &topo.PathGraph{Src: src, Dst: dst, Primary: primary, Backup: backup, Graph: t.view.Clone()}, nil
+}
+
+// Tenant returns a tenant by ID.
+func (m *Manager) Tenant(id TenantID) (*Tenant, error) {
+	t, ok := m.tenants[id]
+	if !ok {
+		return nil, ErrNoTenant
+	}
+	return t, nil
+}
+
+// DeleteTenant removes a slice.
+func (m *Manager) DeleteTenant(id TenantID) error {
+	t, ok := m.tenants[id]
+	if !ok {
+		return ErrNoTenant
+	}
+	for h := range t.hosts {
+		if m.byHost[h] == id {
+			delete(m.byHost, h)
+		}
+	}
+	delete(m.tenants, id)
+	return nil
+}
+
+// VerifyRoute is the virtualization-aware path verifier: the route must
+// connect two tenant hosts and every hop must stay inside the tenant's
+// slice.
+func (m *Manager) VerifyRoute(id TenantID, src, dst packet.MAC, tags packet.Path) error {
+	t, err := m.Tenant(id)
+	if err != nil {
+		return err
+	}
+	if !t.Contains(src) || !t.Contains(dst) {
+		return ErrForeignHost
+	}
+	sat, err := t.view.HostAt(src)
+	if err != nil {
+		return ErrForeignHost
+	}
+	dat, err := t.view.HostAt(dst)
+	if err != nil {
+		return ErrForeignHost
+	}
+	cur := sat.Switch
+	for i, tag := range tags {
+		if i == len(tags)-1 {
+			if cur == dat.Switch && tag == dat.Port {
+				return nil
+			}
+			return ErrOutsideSlice
+		}
+		next := packet.SwitchID(0)
+		found := false
+		for _, nb := range t.view.Neighbors(cur) {
+			if nb.Port == tag {
+				next, found = nb.Sw, true
+				break
+			}
+		}
+		if !found {
+			return ErrOutsideSlice
+		}
+		cur = next
+	}
+	return ErrOutsideSlice
+}
+
+// PathFor computes a route for a tenant flow inside the slice.
+func (m *Manager) PathFor(id TenantID, src, dst packet.MAC) (packet.Path, error) {
+	t, err := m.Tenant(id)
+	if err != nil {
+		return nil, err
+	}
+	if !t.Contains(src) || !t.Contains(dst) {
+		return nil, ErrForeignHost
+	}
+	return t.view.HostPath(src, dst, m.rng)
+}
+
+// ApplyLinkDown patches every tenant view after a failure, mirroring the
+// host-side stage-1 cache patch.
+func (m *Manager) ApplyLinkDown(sw packet.SwitchID, port packet.Tag) {
+	for _, t := range m.tenants {
+		t.view.RemoveEdgeByPort(sw, port)
+	}
+}
+
+// ControllerAdapter adapts a Manager to the controller's Virtualizer
+// interface (which uses plain strings to avoid an import cycle).
+type ControllerAdapter struct{ M *Manager }
+
+// TenantOf implements controller.Virtualizer.
+func (a ControllerAdapter) TenantOf(h packet.MAC) (string, bool) {
+	id, ok := a.M.TenantOf(h)
+	return string(id), ok
+}
+
+// PathGraphFor implements controller.Virtualizer.
+func (a ControllerAdapter) PathGraphFor(tenant string, src, dst packet.MAC) (*topo.PathGraph, error) {
+	return a.M.PathGraphFor(TenantID(tenant), src, dst)
+}

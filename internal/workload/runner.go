@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+
+	"dumbnet/internal/flowsim"
+)
+
+// RouteFunc assigns a flow-level path (set of capacitated links) to a
+// transfer. The flowIdx distinguishes repeated transfers between the same
+// pair so multi-path policies can spread them.
+type RouteFunc func(src, dst, flowIdx int) []flowsim.LinkID
+
+// RunJob executes a job DAG on a flow-level network and returns its total
+// duration in seconds. Each stage starts when its dependencies finish, runs
+// ComputeSec of computation, then launches its flows; the stage completes
+// when all its flows finish.
+func RunJob(job Job, net *flowsim.Network, route RouteFunc) (float64, error) {
+	if err := job.Validate(); err != nil {
+		return 0, err
+	}
+	s := flowsim.NewSimulator(net)
+	n := len(job.Stages)
+	remainingDeps := make([]int, n)
+	dependents := make([][]int, n)
+	for i, st := range job.Stages {
+		remainingDeps[i] = len(st.Deps)
+		for _, d := range st.Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	unfinishedFlows := make([]int, n)
+	stageDone := make([]bool, n)
+	jobEnd := 0.0
+	flowStage := make(map[*flowsim.Flow]int)
+	nextFlowID := 0
+
+	var completeStage func(i int, now float64)
+	startStage := func(i int, now float64) {
+		st := job.Stages[i]
+		startAt := now + st.ComputeSec
+		if len(st.Flows) == 0 {
+			s.At(startAt, func() { completeStage(i, startAt) })
+			return
+		}
+		unfinishedFlows[i] = len(st.Flows)
+		s.At(startAt, func() {
+			for fi, fl := range st.Flows {
+				nextFlowID++
+				f := &flowsim.Flow{
+					ID:    nextFlowID,
+					Path:  route(fl.Src, fl.Dst, fi),
+					Size:  fl.Bytes * 8, // bytes -> bits
+					Start: startAt,
+				}
+				flowStage[f] = i
+				s.Add(f)
+			}
+		})
+	}
+	completeStage = func(i int, now float64) {
+		if stageDone[i] {
+			return
+		}
+		stageDone[i] = true
+		if now > jobEnd {
+			jobEnd = now
+		}
+		for _, dep := range dependents[i] {
+			remainingDeps[dep]--
+			if remainingDeps[dep] == 0 {
+				startStage(dep, now)
+			}
+		}
+	}
+	s.OnFinish = func(f *flowsim.Flow, now float64) {
+		i, ok := flowStage[f]
+		if !ok {
+			return
+		}
+		unfinishedFlows[i]--
+		if unfinishedFlows[i] == 0 {
+			completeStage(i, now)
+		}
+	}
+	for i := range job.Stages {
+		if remainingDeps[i] == 0 {
+			startStage(i, 0)
+		}
+	}
+	s.Run()
+	for i := range stageDone {
+		if !stageDone[i] {
+			return 0, fmt.Errorf("workload: stage %d (%s) never completed", i, job.Stages[i].Name)
+		}
+	}
+	return jobEnd, nil
+}
