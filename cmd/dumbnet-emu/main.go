@@ -6,6 +6,7 @@
 //	dumbnet-emu -topo testbed
 //	dumbnet-emu -topo fattree -k 4 -fail
 //	dumbnet-emu -topo cube -n 3 -pings 5
+//	dumbnet-emu -topo leafspine -k 6 -n 2 -chaos -chaos-seed 42 -loss 0.01 -ctrl-crash
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"dumbnet/internal/chaos"
 	"dumbnet/internal/core"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
@@ -49,6 +51,15 @@ func main() {
 		discover = flag.Bool("discover", true, "use probe-based discovery (false: install topology directly)")
 		iperf    = flag.Duration("iperf", 0, "run a goodput measurement for this long (e.g. 100ms)")
 		stats    = flag.Bool("stats", false, "query per-switch counters at the end")
+
+		chaosOn   = flag.Bool("chaos", false, "run a seeded chaos scenario after bringup")
+		chaosSeed = flag.Int64("chaos-seed", 1, "chaos scenario seed (same seed, same event trace)")
+		chaosEvts = flag.Int("chaos-events", 24, "randomized fail/heal events to inject")
+		loss      = flag.Float64("loss", 0.01, "per-frame loss probability on fabric links during chaos")
+		corrupt   = flag.Float64("corrupt", 0, "per-frame single-bit corruption probability during chaos")
+		flap      = flag.Bool("flap", true, "include link-flap events in the chaos mix")
+		crashSw   = flag.Bool("crash-switches", true, "include switch crash/restart events in the chaos mix")
+		ctrlCrash = flag.Bool("ctrl-crash", false, "crash the primary controller mid-chaos (attaches 2 replicas)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -125,6 +136,47 @@ func main() {
 				pairs[0][0], pairs[0][1], rtt.Duration())
 		}
 	}
+	if *chaosOn {
+		net.WarmAll()
+		if *ctrlCrash {
+			// Attach two fabric-side controller replicas so hosts have
+			// somewhere to fail over when the primary dies.
+			r1, r2 := hosts[len(hosts)/3], hosts[2*len(hosts)/3]
+			if r1 == r2 {
+				r2 = hosts[len(hosts)-1]
+			}
+			if _, err := net.EnableReplicationAt([]core.MAC{r1, r2}); err != nil {
+				log.Fatalf("chaos: enabling replication: %v", err)
+			}
+			fmt.Printf("\ncontroller replicas attached at %v, %v\n", r1, r2)
+		}
+		ccfg := chaos.DefaultConfig(*chaosSeed)
+		ccfg.Events = *chaosEvts
+		ccfg.Loss = *loss
+		ccfg.Corrupt = *corrupt
+		ccfg.Flap = *flap
+		ccfg.CrashSwitches = *crashSw
+		ccfg.CrashController = *ctrlCrash
+		fmt.Printf("\nchaos: seed %d, %d events, loss %.3f, corrupt %.3f, flap %v, crash-switches %v, ctrl-crash %v\n",
+			*chaosSeed, *chaosEvts, *loss, *corrupt, *flap, *crashSw, *ctrlCrash)
+		rep, err := chaos.Run(net, ccfg)
+		if err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		for _, e := range rep.Trace {
+			fmt.Printf("  %v\n", e)
+		}
+		fmt.Print(rep.Drops.Counters().Table("fabric drop counters (non-zero)", true))
+		if rep.Ok() {
+			fmt.Printf("chaos: all invariants held (%d ping retries during re-convergence)\n", rep.PingRetries)
+		} else {
+			for _, v := range rep.Violations {
+				fmt.Printf("chaos: INVARIANT VIOLATED — %v\n", v)
+			}
+			os.Exit(1)
+		}
+	}
+
 	if *iperf > 0 {
 		src, dst := hosts[0], hosts[len(hosts)-1]
 		fmt.Printf("\niperf %v -> %v for %v:\n", src, dst, *iperf)

@@ -1,0 +1,458 @@
+// Package chaos is the fault-injection harness for a deployed DumbNet
+// fabric: a seeded scenario driver that schedules randomized failure and
+// heal sequences — lossy links, flapping, switch crashes, a dead primary
+// controller — against a core.Network, plus an invariant checker that
+// verifies the end-to-end recovery story the paper's §4 promises: full
+// connectivity re-converges after heal, no cached route forwards in a
+// loop, and every host's TopoCache agrees with the controller master.
+//
+// Determinism: the driver draws every choice from its own rand.Rand seeded
+// by Config.Seed, and the network under test runs on the deterministic
+// discrete-event engine — the same seed reproduces the identical event
+// trace and the identical outcome.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dumbnet/internal/core"
+	"dumbnet/internal/fabric"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// Config tunes a chaos scenario.
+type Config struct {
+	// Seed drives every randomized choice the scenario makes.
+	Seed int64
+	// Events is how many randomized fail/heal events to inject.
+	Events int
+	// MeanGap is the mean virtual-time gap between events.
+	MeanGap sim.Time
+	// Loss is the per-frame loss probability installed on every
+	// switch-to-switch link for the duration of the chaos phase.
+	Loss float64
+	// Corrupt is the per-frame single-bit corruption probability.
+	Corrupt float64
+	// Jitter is the maximum extra per-frame latency.
+	Jitter sim.Time
+	// Flap enables link-flap events (rapid down/up cycles inside the
+	// switches' alarm-suppression window).
+	Flap bool
+	// CrashSwitches enables switch crash/restart events.
+	CrashSwitches bool
+	// CrashController crashes the bootstrap (primary) controller one
+	// third of the way through the scenario; requires replication
+	// (core.EnableReplicationAt) so hosts have somewhere to fail over.
+	CrashController bool
+	// Settle is how long the fabric gets after the final heal before
+	// invariants are checked; must comfortably exceed the switches'
+	// alarm-suppression window so trailing alarms drain.
+	Settle sim.Time
+	// Deadline bounds, per host pair, how long connectivity may take to
+	// re-converge during the check phase.
+	Deadline sim.Time
+}
+
+// DefaultConfig is the standard scenario: ~1% loss, flapping, switch
+// crashes, and a primary-controller crash.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		Events:          24,
+		MeanGap:         40 * sim.Millisecond,
+		Loss:            0.01,
+		Jitter:          20 * sim.Microsecond,
+		Flap:            true,
+		CrashSwitches:   true,
+		CrashController: true,
+		Settle:          5 * sim.Second,
+		Deadline:        2 * sim.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Events <= 0 {
+		c.Events = 24
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = 40 * sim.Millisecond
+	}
+	if c.Settle <= 0 {
+		c.Settle = 5 * sim.Second
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * sim.Second
+	}
+	return c
+}
+
+// Event is one entry in the scenario trace.
+type Event struct {
+	At   sim.Time
+	Kind string
+	A, B core.SwitchID // link events
+	Sw   core.SwitchID // switch events
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case "fail-link", "heal-link", "flap-link":
+		return fmt.Sprintf("%v %s %d<->%d", e.At, e.Kind, e.A, e.B)
+	case "crash-switch", "restart-switch":
+		return fmt.Sprintf("%v %s %d", e.At, e.Kind, e.Sw)
+	default:
+		return fmt.Sprintf("%v %s", e.At, e.Kind)
+	}
+}
+
+// Violation is one failed invariant.
+type Violation struct {
+	Invariant string // "connectivity" | "no-loops" | "master-convergence" | "cache-convergence"
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Report is the outcome of a scenario run.
+type Report struct {
+	Trace      []Event
+	Violations []Violation
+	// PingRetries counts connectivity probes that needed more than one
+	// attempt during the check phase.
+	PingRetries int
+	// Drops snapshots the fabric-wide loss counters after the run.
+	Drops fabric.DropCounters
+}
+
+// Ok reports whether every invariant held.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// TraceEqual compares two traces event-for-event (the determinism check).
+func TraceEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type pair struct{ a, b core.SwitchID }
+
+type runner struct {
+	n   *core.Network
+	cfg Config
+	rng *rand.Rand
+
+	links     []pair // all switch-to-switch links, deterministic order
+	down      map[pair]bool
+	flap      map[pair]bool
+	crashed   map[core.SwitchID]bool
+	protected map[core.SwitchID]bool // switches under controller replicas
+	ctrlDown  bool
+	baseline  *topo.Topology // master view before any fault was injected
+
+	rep *Report
+}
+
+// Run executes a chaos scenario against a bootstrapped network: impair,
+// inject cfg.Events randomized fail/heal events (with background traffic),
+// heal everything, settle, and check invariants. The network must be
+// bootstrapped and warmed; CrashController additionally requires
+// EnableReplicationAt to have run.
+func Run(n *core.Network, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CrashController && n.Group() == nil {
+		return nil, fmt.Errorf("chaos: CrashController requires controller replication")
+	}
+	r := &runner{
+		n:         n,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		down:      make(map[pair]bool),
+		flap:      make(map[pair]bool),
+		crashed:   make(map[core.SwitchID]bool),
+		protected: make(map[core.SwitchID]bool),
+		rep:       &Report{},
+	}
+	for _, id := range n.Topo.SwitchIDs() {
+		for _, nb := range n.Topo.Neighbors(id) {
+			if nb.Sw > id {
+				r.links = append(r.links, pair{a: id, b: nb.Sw})
+			}
+		}
+	}
+	// Never crash a switch that carries a controller replica: the
+	// scenario tests failover between controllers, not the (hopeless)
+	// case of every controller unreachable at once.
+	ctrlMACs := []core.MAC{n.Ctrl.MAC()}
+	if g := n.Group(); g != nil {
+		ctrlMACs = g.MACs()
+	}
+	for _, m := range ctrlMACs {
+		if at, err := n.Topo.HostAt(m); err == nil {
+			r.protected[at.Switch] = true
+		}
+	}
+	// The convergence invariant is "the master returns to its pre-chaos
+	// state", not "the master equals the generator blueprint" — a
+	// discovery-built master legitimately differs from the blueprint in
+	// per-switch port counts (discovery caps them at the probe width).
+	if mv := r.masterView(); mv != nil {
+		r.baseline = mv.Clone()
+	} else {
+		return nil, fmt.Errorf("chaos: network has no master view (bootstrap it first)")
+	}
+
+	r.n.Fab.ImpairAllLinks(sim.Impairment{LossProb: cfg.Loss, CorruptProb: cfg.Corrupt, JitterMax: cfg.Jitter})
+	r.record("impair", pair{}, 0)
+
+	ctrlCrashAt := cfg.Events / 3
+	for i := 0; i < cfg.Events; i++ {
+		if cfg.CrashController && i == ctrlCrashAt && !r.ctrlDown {
+			n.Ctrl.Crash()
+			r.ctrlDown = true
+			r.record("crash-ctrl", pair{}, 0)
+		} else {
+			r.step()
+		}
+		r.background()
+		gap := r.cfg.MeanGap/2 + sim.Time(r.rng.Int63n(int64(r.cfg.MeanGap)))
+		n.RunFor(gap)
+	}
+
+	r.healAll()
+	n.RunFor(cfg.Settle)
+	r.check()
+	r.rep.Drops = n.Drops()
+	return r.rep, nil
+}
+
+func (r *runner) record(kind string, p pair, sw core.SwitchID) {
+	r.rep.Trace = append(r.rep.Trace, Event{At: r.n.Eng.Now(), Kind: kind, A: p.a, B: p.b, Sw: sw})
+}
+
+// viewConnected checks whether the fabric's switch graph stays connected
+// under the currently injected faults plus a candidate extra fault.
+// Flapping links count as down for the whole phase (pessimistic), so a
+// flap can never conspire with later failures into a partition.
+func (r *runner) viewConnected(extraDown *pair, extraCrash *core.SwitchID) bool {
+	v := r.n.Topo.Clone()
+	drop := func(p pair) {
+		if pa, err := v.PortToward(p.a, p.b); err == nil {
+			_ = v.Disconnect(p.a, pa)
+		}
+	}
+	for _, p := range r.links {
+		if r.down[p] || r.flap[p] {
+			drop(p)
+		}
+	}
+	if extraDown != nil {
+		drop(*extraDown)
+	}
+	for _, id := range r.n.Topo.SwitchIDs() {
+		if r.crashed[id] {
+			_ = v.RemoveSwitch(id)
+		}
+	}
+	if extraCrash != nil && v.HasSwitch(*extraCrash) {
+		_ = v.RemoveSwitch(*extraCrash)
+	}
+	return v.Connected()
+}
+
+// linkCandidates lists links eligible for a new fail or flap: currently
+// clean, both endpoints alive, and severable without partitioning.
+func (r *runner) linkCandidates() []pair {
+	var out []pair
+	for _, p := range r.links {
+		if r.down[p] || r.flap[p] || r.crashed[p.a] || r.crashed[p.b] {
+			continue
+		}
+		l, err := r.n.Fab.LinkBetween(p.a, p.b)
+		if err != nil || !l.Up() {
+			continue
+		}
+		q := p
+		if r.viewConnected(&q, nil) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (r *runner) healCandidates() []pair {
+	var out []pair
+	for _, p := range r.links {
+		if r.down[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (r *runner) crashCandidates() []core.SwitchID {
+	var out []core.SwitchID
+	for _, id := range r.n.Topo.SwitchIDs() {
+		if r.crashed[id] || r.protected[id] {
+			continue
+		}
+		sw := id
+		if r.viewConnected(nil, &sw) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (r *runner) restartCandidates() []core.SwitchID {
+	var out []core.SwitchID
+	for _, id := range r.n.Topo.SwitchIDs() {
+		if r.crashed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// step injects one randomized event. The roll picks a preferred action;
+// if that action has no eligible target the fixed fallback order keeps
+// the event count honest.
+func (r *runner) step() {
+	type action int
+	const (
+		actFail action = iota
+		actHeal
+		actFlap
+		actCrash
+		actRestart
+	)
+	var preferred action
+	switch roll := r.rng.Intn(10); {
+	case roll < 4:
+		preferred = actFail
+	case roll < 6:
+		preferred = actHeal
+	case roll < 8:
+		preferred = actFlap
+	case roll < 9:
+		preferred = actCrash
+	default:
+		preferred = actRestart
+	}
+	order := []action{preferred, actFail, actHeal, actFlap, actCrash, actRestart}
+	for _, act := range order {
+		switch act {
+		case actFail:
+			if c := r.linkCandidates(); len(c) > 0 {
+				p := c[r.rng.Intn(len(c))]
+				_ = r.n.FailLink(p.a, p.b)
+				r.down[p] = true
+				r.record("fail-link", p, 0)
+				return
+			}
+		case actHeal:
+			if c := r.healCandidates(); len(c) > 0 {
+				p := c[r.rng.Intn(len(c))]
+				_ = r.n.RestoreLink(p.a, p.b)
+				delete(r.down, p)
+				r.record("heal-link", p, 0)
+				return
+			}
+		case actFlap:
+			if !r.cfg.Flap {
+				continue
+			}
+			if c := r.linkCandidates(); len(c) > 0 {
+				p := c[r.rng.Intn(len(c))]
+				l, err := r.n.Fab.LinkBetween(p.a, p.b)
+				if err != nil {
+					continue
+				}
+				downFor := 20*sim.Millisecond + sim.Time(r.rng.Int63n(int64(80*sim.Millisecond)))
+				upFor := 20*sim.Millisecond + sim.Time(r.rng.Int63n(int64(80*sim.Millisecond)))
+				cycles := 2 + r.rng.Intn(3)
+				l.StartFlap(0, downFor, upFor, cycles)
+				r.flap[p] = true
+				r.record("flap-link", p, 0)
+				return
+			}
+		case actCrash:
+			if !r.cfg.CrashSwitches {
+				continue
+			}
+			if c := r.crashCandidates(); len(c) > 0 {
+				sw := c[r.rng.Intn(len(c))]
+				_ = r.n.CrashSwitch(sw)
+				r.crashed[sw] = true
+				r.record("crash-switch", pair{}, sw)
+				return
+			}
+		case actRestart:
+			if c := r.restartCandidates(); len(c) > 0 {
+				sw := c[r.rng.Intn(len(c))]
+				_ = r.n.RestartSwitch(sw)
+				delete(r.crashed, sw)
+				r.record("restart-switch", pair{}, sw)
+				return
+			}
+		}
+	}
+	r.record("idle", pair{}, 0)
+}
+
+// background fires a little best-effort traffic between events so the
+// datapath, retry and blackhole machinery actually run under impairment.
+func (r *runner) background() {
+	hosts := r.n.Hosts()
+	if len(hosts) < 2 {
+		return
+	}
+	for i := 0; i < 2; i++ {
+		src := hosts[r.rng.Intn(len(hosts))]
+		dst := hosts[r.rng.Intn(len(hosts))]
+		if src == dst {
+			continue
+		}
+		_ = r.n.Ping(src, dst, func(sim.Time) {})
+	}
+}
+
+// healAll reverses every injected fault: flaps stopped and links raised,
+// failed links restored, crashed switches and the controller restarted,
+// impairments cleared.
+func (r *runner) healAll() {
+	for _, p := range r.links {
+		if r.flap[p] {
+			if l, err := r.n.Fab.LinkBetween(p.a, p.b); err == nil {
+				l.StopFlap()
+				l.Restore()
+			}
+			delete(r.flap, p)
+		}
+		if r.down[p] {
+			_ = r.n.RestoreLink(p.a, p.b)
+			delete(r.down, p)
+		}
+	}
+	for _, id := range r.n.Topo.SwitchIDs() {
+		if r.crashed[id] {
+			_ = r.n.RestartSwitch(id)
+			delete(r.crashed, id)
+		}
+	}
+	if r.ctrlDown {
+		r.n.Ctrl.Restart()
+		r.ctrlDown = false
+		r.record("restart-ctrl", pair{}, 0)
+	}
+	r.n.Fab.ImpairAllLinks(sim.Impairment{})
+	r.record("heal-all", pair{}, 0)
+}

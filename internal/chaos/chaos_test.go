@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"testing"
+
+	"dumbnet/internal/core"
+	"dumbnet/internal/topo"
+)
+
+// buildNetwork stands up the acceptance fabric: a 3-spine 6-leaf
+// leaf-spine (9 switches, 12 hosts), bootstrapped, warmed, with three
+// fabric-attached controller replicas so controller failover is real.
+func buildNetwork(t *testing.T, seed int64, replicate bool) *core.Network {
+	t.Helper()
+	tp, err := topo.LeafSpine(3, 6, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	n, err := core.New(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	n.WarmAll()
+	if replicate {
+		hosts := n.Hosts()
+		// Replicas on hosts of different leaves than the controller.
+		if _, err := n.EnableReplicationAt([]core.MAC{hosts[3], hosts[7]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+// TestChaosAcceptance is the issue's acceptance scenario: >= 20 randomized
+// fail/heal events over a 9-switch fabric with 1% loss, flapping, switch
+// crashes and a primary-controller crash — after heal, every invariant
+// must hold.
+func TestChaosAcceptance(t *testing.T) {
+	n := buildNetwork(t, 42, true)
+	cfg := DefaultConfig(42)
+	rep, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			t.Errorf("invariant violated: %v", v)
+		}
+	}
+	// The trace must contain the demanded ingredients.
+	kinds := map[string]int{}
+	for _, e := range rep.Trace {
+		kinds[e.Kind]++
+	}
+	injected := kinds["fail-link"] + kinds["heal-link"] + kinds["flap-link"] +
+		kinds["crash-switch"] + kinds["restart-switch"]
+	if injected < 20 {
+		t.Errorf("only %d randomized fail/heal events injected, want >= 20 (trace: %v)", injected, kinds)
+	}
+	if kinds["crash-ctrl"] != 1 || kinds["restart-ctrl"] != 1 {
+		t.Errorf("controller crash/restart missing from trace: %v", kinds)
+	}
+	if kinds["idle"] > 0 {
+		t.Logf("note: %d idle steps (no eligible fault)", kinds["idle"])
+	}
+	// The chaos phase must actually have exercised failover machinery
+	// somewhere: at least one host rotated to a backup controller.
+	failovers := uint64(0)
+	for _, h := range n.Hosts() {
+		failovers += n.Agent(h).Stats().CtrlFailovers
+	}
+	if failovers == 0 {
+		t.Error("no host ever failed over to a controller replica despite the primary crash")
+	}
+}
+
+// TestChaosDeterminism: the same seed must reproduce the identical event
+// trace (times included); a different seed must diverge.
+func TestChaosDeterminism(t *testing.T) {
+	run := func(seed int64) *Report {
+		n := buildNetwork(t, 7, true)
+		cfg := DefaultConfig(seed)
+		cfg.Events = 20
+		rep, err := Run(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a := run(11)
+	b := run(11)
+	if !TraceEqual(a.Trace, b.Trace) {
+		t.Fatalf("same seed diverged:\n%v\nvs\n%v", a.Trace, b.Trace)
+	}
+	c := run(12)
+	if TraceEqual(a.Trace, c.Trace) {
+		t.Fatal("different seeds produced identical traces — rng not wired through")
+	}
+}
+
+// TestChaosWithoutReplication runs a lighter scenario (no controller
+// crash) against an unreplicated network: stage-1/stage-2 recovery alone
+// must still satisfy every invariant.
+func TestChaosWithoutReplication(t *testing.T) {
+	n := buildNetwork(t, 3, false)
+	cfg := DefaultConfig(3)
+	cfg.Events = 20
+	cfg.CrashController = false
+	rep, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			t.Errorf("invariant violated: %v", v)
+		}
+	}
+}
+
+// TestChaosRejectsCtrlCrashWithoutReplicas: crashing the only controller
+// is a misconfiguration, not a scenario.
+func TestChaosRejectsCtrlCrashWithoutReplicas(t *testing.T) {
+	n := buildNetwork(t, 5, false)
+	cfg := DefaultConfig(5)
+	if _, err := Run(n, cfg); err == nil {
+		t.Fatal("expected an error: CrashController without replication")
+	}
+}
+
+// TestChaosPartitionAvoidance: the driver must never partition the switch
+// graph — verified by replaying the trace against a topology mirror.
+func TestChaosPartitionAvoidance(t *testing.T) {
+	n := buildNetwork(t, 9, true)
+	rep, err := Run(n, DefaultConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := n.Topo.Clone()
+	downOrFlap := map[[2]core.SwitchID]bool{}
+	crashed := map[core.SwitchID]bool{}
+	rebuild := func() *topo.Topology {
+		v := n.Topo.Clone()
+		for k := range downOrFlap {
+			if pa, err := v.PortToward(k[0], k[1]); err == nil {
+				_ = v.Disconnect(k[0], pa)
+			}
+		}
+		for sw := range crashed {
+			if v.HasSwitch(sw) {
+				_ = v.RemoveSwitch(sw)
+			}
+		}
+		return v
+	}
+	for _, e := range rep.Trace {
+		switch e.Kind {
+		case "fail-link", "flap-link":
+			downOrFlap[[2]core.SwitchID{e.A, e.B}] = true
+		case "heal-link":
+			delete(downOrFlap, [2]core.SwitchID{e.A, e.B})
+		case "crash-switch":
+			crashed[e.Sw] = true
+		case "restart-switch":
+			delete(crashed, e.Sw)
+		}
+		if mirror = rebuild(); !mirror.Connected() {
+			t.Fatalf("trace partitions the fabric at %v", e)
+		}
+	}
+}

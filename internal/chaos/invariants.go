@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"fmt"
+
+	"dumbnet/internal/core"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// The invariant checker runs after the scenario's final heal + settle, when
+// the fabric is physically identical to the original topology again. Three
+// invariants cover the recovery story end to end:
+//
+//  1. connectivity — every host pair pings within Deadline (stage-1
+//     failover, re-queries and controller failover all resolved);
+//  2. no-loops — every cached route, walked over the real topology,
+//     visits no switch twice and terminates at its destination host;
+//  3. convergence — the controller masters match the real topology again,
+//     and every edge in every host's TopoCache agrees with the master.
+
+func (r *runner) check() {
+	r.checkConnectivity()
+	r.checkNoLoops()
+	r.checkConvergence()
+}
+
+func (r *runner) violate(inv, format string, args ...any) {
+	r.rep.Violations = append(r.rep.Violations, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *runner) allHosts() []core.MAC {
+	return append([]core.MAC{r.n.Ctrl.MAC()}, r.n.Hosts()...)
+}
+
+func (r *runner) checkConnectivity() {
+	hosts := r.allHosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			deadline := r.n.Eng.Now() + r.cfg.Deadline
+			attempts := 0
+			for {
+				attempts++
+				if _, err := r.n.PingSync(src, dst); err == nil {
+					break
+				}
+				if r.n.Eng.Now() >= deadline {
+					r.violate("connectivity", "%v -> %v unreachable after %d attempts", src, dst, attempts)
+					break
+				}
+				r.n.RunFor(50 * sim.Millisecond)
+			}
+			if attempts > 1 {
+				r.rep.PingRetries++
+			}
+		}
+	}
+}
+
+func (r *runner) checkNoLoops() {
+	for _, h := range r.allHosts() {
+		a := r.n.Agent(h)
+		for _, dst := range a.Table().Destinations() {
+			e := a.Table().Lookup(dst)
+			if e == nil {
+				continue
+			}
+			paths := e.Paths
+			if e.Backup != nil {
+				paths = append(paths[:len(paths):len(paths)], *e.Backup)
+			}
+			for _, cp := range paths {
+				if err := walkPath(r.n.Topo, h, cp.Tags, dst); err != nil {
+					r.violate("no-loops", "host %v route to %v: %v (tags %v)", h, dst, err, cp.Tags)
+				}
+			}
+		}
+	}
+}
+
+// walkPath replays a tag stack over the (healed) physical topology: each
+// tag must name a wired port, no switch may repeat, and the final tag must
+// land on the destination host.
+func walkPath(t *topo.Topology, src core.MAC, tags packet.Path, dst core.MAC) error {
+	if len(tags) == 0 {
+		return fmt.Errorf("empty tag stack")
+	}
+	at, err := t.HostAt(src)
+	if err != nil {
+		return err
+	}
+	cur := at.Switch
+	visited := map[core.SwitchID]bool{cur: true}
+	for i, tag := range tags {
+		ep, err := t.EndpointAt(cur, topo.Port(tag))
+		if err != nil {
+			return fmt.Errorf("switch %d tag %d: %w", cur, tag, err)
+		}
+		if i == len(tags)-1 {
+			if ep.Kind != topo.EndpointHost || ep.Host != dst {
+				return fmt.Errorf("final tag at switch %d does not reach %v", cur, dst)
+			}
+			return nil
+		}
+		if ep.Kind != topo.EndpointSwitch {
+			return fmt.Errorf("mid-path tag %d at switch %d leaves the fabric", tag, cur)
+		}
+		if visited[ep.Switch] {
+			return fmt.Errorf("forwarding loop: switch %d revisited", ep.Switch)
+		}
+		visited[ep.Switch] = true
+		cur = ep.Switch
+	}
+	return fmt.Errorf("unreachable")
+}
+
+// masterView picks the authoritative master: the consensus leader's when
+// replicated, the sole controller's otherwise.
+func (r *runner) masterView() *topo.Topology {
+	if g := r.n.Group(); g != nil {
+		if p := g.Primary(); p != nil {
+			return p.Master()
+		}
+	}
+	return r.n.Ctrl.Master()
+}
+
+func (r *runner) checkConvergence() {
+	master := r.masterView()
+	if g := r.n.Group(); g != nil {
+		// Every replica must hold the same view (they applied the same
+		// log; a restarted replica must have caught up).
+		for i, c := range g.Controllers() {
+			if c.Master() == nil || !c.Master().Equal(master) {
+				r.violate("master-convergence", "replica %d master diverges from leader", i)
+			}
+		}
+	}
+	if master == nil {
+		r.violate("master-convergence", "no master view")
+		return
+	}
+	if !master.Equal(r.baseline) {
+		r.violate("master-convergence", "master does not match its pre-chaos state (%d/%d links)",
+			master.NumLinks(), r.baseline.NumLinks())
+	}
+	// Host caches: every cached edge must exist in the master with the
+	// same port numbering. (Caches are partial views, so subset — not
+	// equality — is the invariant.)
+	for _, h := range r.allHosts() {
+		cache := r.n.Agent(h).Cache()
+		for _, sw := range cache.Switches() {
+			for _, nb := range cache.Neighbors(sw) {
+				p, err := master.PortToward(sw, nb.Sw)
+				if err != nil {
+					r.violate("cache-convergence", "host %v caches edge %d->%d absent from master", h, sw, nb.Sw)
+					continue
+				}
+				if p != nb.Port {
+					r.violate("cache-convergence", "host %v edge %d->%d port %d, master says %d", h, sw, nb.Sw, nb.Port, p)
+				}
+			}
+		}
+	}
+}

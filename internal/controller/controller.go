@@ -95,6 +95,14 @@ type Controller struct {
 	// virt, when set, restricts path answers per tenant (§6.1).
 	virt Virtualizer
 
+	// down marks a crashed controller process: the embedded agent (the
+	// host) stays alive, but every controller duty is ignored until
+	// Restart. The backing consensus node crashes with it.
+	down bool
+
+	// ctrlListSeq versions replica-list advertisements.
+	ctrlListSeq uint64
+
 	// OnTopologyChange fires after the master view mutates.
 	OnTopologyChange func(version uint64)
 
@@ -140,9 +148,44 @@ func (c *Controller) SetMaster(t *topo.Topology) {
 	c.version++
 }
 
+// Crash kills the controller process (not the host under it): path
+// requests and link events go unanswered and the backing consensus node,
+// if any, stops participating — triggering a leader election among the
+// surviving replicas.
+func (c *Controller) Crash() {
+	c.down = true
+	if c.replica != nil {
+		c.replica.Crash()
+	}
+}
+
+// Restart revives a crashed controller. Its consensus node rejoins and
+// catches up from the log.
+func (c *Controller) Restart() {
+	c.down = false
+	if c.replica != nil {
+		c.replica.Restart()
+	}
+}
+
+// Down reports whether the controller process is crashed.
+func (c *Controller) Down() bool { return c.down }
+
 // onControl is the agent hook: the controller consumes path requests and
 // link events; everything else falls through to the agent's own handling.
 func (c *Controller) onControl(t packet.MsgType, msg any, from packet.MAC) bool {
+	if c.down {
+		// Crashed process: the host datapath still delivers, but nobody
+		// is listening for controller messages. Path requests are
+		// silently lost — exactly the failure hosts must survive. Link
+		// events fall through so the host's own stage-1 handling (the
+		// kernel-module half) keeps working.
+		switch t {
+		case packet.MsgPathRequest, packet.MsgStatsReply:
+			return true
+		}
+		return false
+	}
 	if c.probeSink != nil && c.probeSink(t, msg) {
 		return true
 	}
@@ -379,6 +422,48 @@ func (c *Controller) Bootstrap() error {
 	return nil
 }
 
+// AdvertiseReplicas unicasts the ordered controller replica list to every
+// host in the master view (MsgCtrlList), including a per-host tag path to
+// each replica so a host can still reach a backup after the primary dies.
+// Replicas unreachable from a given host are omitted from that host's list.
+func (c *Controller) AdvertiseReplicas(replicas []packet.MAC) error {
+	if c.master == nil {
+		return ErrNoTopology
+	}
+	c.ctrlListSeq++
+	for _, at := range c.master.Hosts() {
+		list := &packet.CtrlList{Seq: c.ctrlListSeq}
+		for _, r := range replicas {
+			var p packet.Path
+			if r != at.Host {
+				tags, err := c.master.HostPath(at.Host, r, nil)
+				if err != nil {
+					continue
+				}
+				p = tags
+			}
+			list.Replicas = append(list.Replicas, packet.CtrlReplica{MAC: r, Path: p})
+		}
+		if len(list.Replicas) == 0 {
+			continue
+		}
+		body, err := packet.EncodeControl(packet.MsgCtrlList, list)
+		if err != nil {
+			return err
+		}
+		if at.Host == c.MAC() {
+			_ = c.Agent.SendFrame(at.Host, nil, packet.EtherTypeControl, body)
+			continue
+		}
+		tags, err := c.master.HostPath(c.MAC(), at.Host, nil)
+		if err != nil {
+			continue
+		}
+		_ = c.Agent.SendFrame(at.Host, tags, packet.EtherTypeControl, body)
+	}
+	return nil
+}
+
 // --- Replication ------------------------------------------------------
 
 // logEntryKind discriminates replicated log entries.
@@ -428,6 +513,19 @@ func (g *ReplicaGroup) Primary() *Controller {
 		return nil
 	}
 	return g.controllers[int(l.ID())]
+}
+
+// Controllers returns the group's members in consensus-node order.
+func (g *ReplicaGroup) Controllers() []*Controller { return g.controllers }
+
+// MACs lists the members' host identities in consensus-node order — the
+// list AdvertiseReplicas pushes to hosts.
+func (g *ReplicaGroup) MACs() []packet.MAC {
+	out := make([]packet.MAC, 0, len(g.controllers))
+	for _, c := range g.controllers {
+		out = append(out, c.MAC())
+	}
+	return out
 }
 
 // ProposeSnapshot replicates a full topology snapshot (the discovery

@@ -2,19 +2,19 @@ package core_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
+	"dumbnet/internal/chaos"
 	"dumbnet/internal/core"
-	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
 )
 
-// Chaos test: random link failures and repairs while traffic flows. After
-// every mutation that leaves the fabric connected, all sampled host pairs
-// must still deliver — via stage-1 failover, cached detours, or a fresh
-// controller query. This is the end-to-end guarantee the whole §4 design
-// exists to provide.
+// Chaos tests, rebuilt on the internal/chaos engine: randomized link
+// failures, heals, flaps and switch crashes over the paper's testbed
+// fabric, with the package's invariant checker asserting the end-to-end
+// guarantee the whole §4 design exists to provide — connectivity
+// re-converges, no cached route loops, and host caches agree with the
+// controller master after the dust settles.
 func TestChaosConnectivityUnderFailures(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		seed := seed
@@ -33,105 +33,47 @@ func TestChaosConnectivityUnderFailures(t *testing.T) {
 				t.Fatal(err)
 			}
 			n.WarmAll()
-			rng := rand.New(rand.NewSource(seed))
-			hosts := n.Hosts()
-
-			// Track which links are down; the live topology mirror tells
-			// us whether the fabric is still connected.
-			type link struct{ a, b core.SwitchID }
-			var links []link
-			for _, id := range tp.SwitchIDs() {
-				for _, nb := range tp.Neighbors(id) {
-					if nb.Sw > id {
-						links = append(links, link{a: id, b: nb.Sw})
-					}
-				}
+			ccfg := chaos.DefaultConfig(seed)
+			ccfg.Events = 20
+			ccfg.CrashController = false // unreplicated deployment
+			rep, err := chaos.Run(n, ccfg)
+			if err != nil {
+				t.Fatal(err)
 			}
-			down := map[link]bool{}
-			mirror := tp.Clone()
-
-			checkPairs := func(step int) {
-				if !mirror.Connected() {
-					return // partition: no delivery guarantee
-				}
-				for trial := 0; trial < 4; trial++ {
-					src := hosts[rng.Intn(len(hosts))]
-					dst := hosts[rng.Intn(len(hosts))]
-					if src == dst {
-						continue
-					}
-					// A host may be severed entirely (its leaf's links all
-					// down keeps switches connected but... leaf links are
-					// switch-switch; hosts stay attached). Ping with retry:
-					// the first attempt may race a failover.
-					if _, err := n.PingSync(src, dst); err != nil {
-						n.RunFor(50 * sim.Millisecond)
-						if _, err := n.PingSync(src, dst); err != nil {
-							t.Fatalf("step %d: %v -> %v unreachable: %v", step, src, dst, err)
-						}
-					}
-				}
-			}
-
-			for step := 0; step < 25; step++ {
-				l := links[rng.Intn(len(links))]
-				if down[l] {
-					if err := n.RestoreLink(l.a, l.b); err != nil {
-						t.Fatal(err)
-					}
-					pa, _ := mirrorPort(mirror, l.a, l.b)
-					_ = pa
-					restoreMirror(t, mirror, tp, l.a, l.b)
-					down[l] = false
-				} else {
-					// Never cut the last connecting link of the mirror.
-					pa, err := mirror.PortToward(l.a, l.b)
-					if err != nil {
-						continue
-					}
-					if err := mirror.Disconnect(l.a, pa); err != nil {
-						t.Fatal(err)
-					}
-					if !mirror.Connected() {
-						// Would partition: put it back, skip.
-						restoreMirror(t, mirror, tp, l.a, l.b)
-						continue
-					}
-					if err := n.FailLink(l.a, l.b); err != nil {
-						t.Fatal(err)
-					}
-					down[l] = true
-				}
-				// Let notifications, patches and re-probes settle past the
-				// alarm suppression window.
-				n.RunFor(1200 * sim.Millisecond)
-				checkPairs(step)
+			for _, v := range rep.Violations {
+				t.Errorf("invariant violated: %v", v)
 			}
 		})
 	}
 }
 
-// mirrorPort looks up the port between two switches in the mirror.
-func mirrorPort(m *topo.Topology, a, b core.SwitchID) (topo.Port, error) {
-	return m.PortToward(a, b)
-}
-
-// restoreMirror re-adds the (a,b) link to the mirror using the original
-// topology's port numbers.
-func restoreMirror(t *testing.T, mirror, original *topo.Topology, a, b core.SwitchID) {
-	t.Helper()
-	pa, err := original.PortToward(a, b)
+// TestChaosControllerFailover exercises the full stack on the testbed:
+// lossy links, switch crashes AND a primary-controller crash, with hosts
+// failing over to fabric-attached replicas.
+func TestChaosControllerFailover(t *testing.T) {
+	tp, err := topo.Testbed()
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := original.PortToward(b, a)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 4
+	n, err := core.New(tp, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mirror.PortToward(a, b); err == nil {
-		return // already present
-	}
-	if err := mirror.Connect(a, pa, b, pb); err != nil {
+	if err := n.Bootstrap(); err != nil {
 		t.Fatal(err)
+	}
+	n.WarmAll()
+	hosts := n.Hosts()
+	if _, err := n.EnableReplicationAt([]core.MAC{hosts[5], hosts[11]}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chaos.Run(n, chaos.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %v", v)
 	}
 }

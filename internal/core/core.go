@@ -71,6 +71,7 @@ type Network struct {
 	pingSeq   uint64
 	pingWait  map[uint64]func(rtt sim.Time)
 	booted    bool
+	group     *controller.ReplicaGroup
 	// perpetual marks that self-rescheduling timers (consensus heartbeats)
 	// keep the event queue non-empty forever; drains become time-bounded.
 	perpetual bool
@@ -284,6 +285,20 @@ func (n *Network) FailLink(a, b SwitchID) error { return n.Fab.FailLink(a, b) }
 // RestoreLink brings a failed link back.
 func (n *Network) RestoreLink(a, b SwitchID) error { return n.Fab.RestoreLink(a, b) }
 
+// CrashSwitch power-fails a switch (all its links drop, frames are eaten).
+func (n *Network) CrashSwitch(id SwitchID) error { return n.Fab.CrashSwitch(id) }
+
+// RestartSwitch powers a crashed switch back on.
+func (n *Network) RestartSwitch(id SwitchID) error { return n.Fab.RestartSwitch(id) }
+
+// Drops aggregates every loss class across the fabric (link queues,
+// impairments, switch drop reasons).
+func (n *Network) Drops() fabric.DropCounters { return n.Fab.Drops() }
+
+// Group returns the controller replica group, nil before replication is
+// enabled.
+func (n *Network) Group() *controller.ReplicaGroup { return n.group }
+
 // Run drains all pending virtual-time events. Once replication is enabled,
 // heartbeat timers keep the queue non-empty forever, so Run advances a
 // bounded settle window (1 virtual second) instead.
@@ -339,6 +354,45 @@ func (n *Network) EnableReplication(total int) (*controller.ReplicaGroup, error)
 		agent := host.New(n.Eng, mac, n.cfg.Host)
 		ctrls = append(ctrls, controller.New(n.Eng, agent, n.cfg.Controller))
 	}
+	return n.finishReplication(ctrls)
+}
+
+// EnableReplicationAt promotes existing fabric-attached hosts to controller
+// replicas of the bootstrap controller. Unlike EnableReplication's
+// synthetic replicas (which have no uplink), these can actually answer
+// path requests over the wire — so hosts can fail over to them when the
+// primary crashes. The replica list (with per-host paths) is advertised to
+// every host. Call after Bootstrap.
+func (n *Network) EnableReplicationAt(macs []MAC) (*controller.ReplicaGroup, error) {
+	if !n.booted {
+		return nil, ErrNotDeployed
+	}
+	n.perpetual = true
+	ctrls := []*controller.Controller{n.Ctrl}
+	for _, m := range macs {
+		if m == n.Ctrl.MAC() {
+			continue
+		}
+		agent, ok := n.agents[m]
+		if !ok {
+			return nil, ErrNoSuchHost
+		}
+		ctrls = append(ctrls, controller.New(n.Eng, agent, n.cfg.Controller))
+	}
+	group, err := n.finishReplication(ctrls)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Ctrl.AdvertiseReplicas(group.MACs()); err != nil {
+		return nil, err
+	}
+	n.RunFor(100 * sim.Millisecond)
+	return group, nil
+}
+
+// finishReplication builds the consensus group, waits out the election, and
+// replicates the bootstrap master as the initial snapshot.
+func (n *Network) finishReplication(ctrls []*controller.Controller) (*controller.ReplicaGroup, error) {
 	group := controller.BuildReplicaGroup(n.Eng, ctrls, consensus.DefaultConfig())
 	// Elect, then replicate the snapshot from whichever replica leads.
 	n.RunFor(2 * sim.Second)
@@ -350,6 +404,7 @@ func (n *Network) EnableReplication(total int) (*controller.ReplicaGroup, error)
 		return nil, err
 	}
 	n.RunFor(sim.Second)
+	n.group = group
 	return group, nil
 }
 
@@ -364,5 +419,5 @@ func (n *Network) WarmAll() {
 			}
 		}
 	}
-	n.Eng.Run()
+	n.Run()
 }

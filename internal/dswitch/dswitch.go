@@ -53,13 +53,14 @@ type Stats struct {
 	IDReplies     uint64 // ID-query replies generated
 	FloodsIn      uint64 // link-event broadcasts received
 	FloodsOut     uint64 // link-event broadcast transmissions
-	DropNoPort    uint64 // tag named an unwired or out-of-range port
-	DropLinkDown  uint64 // tag named a port whose link is down
-	DropBadFrame  uint64 // unparseable frames
-	DropEndOfPath uint64 // ø reached a switch instead of a host
-	ECNMarked     uint64 // frames marked congestion-experienced
-	AlarmsSent    uint64 // port state alarms originated here
-	AlarmsSquelch uint64 // alarms suppressed by the per-port window
+	DropNoPort     uint64 // tag named an unwired or out-of-range port
+	DropLinkDown   uint64 // tag named a port whose link is down
+	DropBadFrame   uint64 // unparseable frames
+	DropEndOfPath  uint64 // ø reached a switch instead of a host
+	DropSwitchDown uint64 // frames that arrived while the switch was crashed
+	ECNMarked      uint64 // frames marked congestion-experienced
+	AlarmsSent     uint64 // port state alarms originated here
+	AlarmsSquelch  uint64 // alarms deferred by the per-port window
 }
 
 // Switch is one dumb switch instance.
@@ -70,8 +71,16 @@ type Switch struct {
 	links []*sim.Link // index 0 unused; ports are 1-based
 	up    []bool      // cached port state, updated by PortStateChanged
 
-	alarmSeq  uint64
-	lastAlarm []sim.Time // per-port time of last alarm sent (or -inf)
+	alarmSeq     uint64
+	lastAlarm    []sim.Time // per-port time of last alarm sent (or -inf)
+	lastAlarmUp  []bool     // per-port state last advertised by an alarm
+	alarmPending []bool     // per-port trailing alarm scheduled
+
+	// down marks a crashed switch: no forwarding, no alarms, ports dark.
+	down bool
+	// crashCut marks ports whose links this switch downed when it crashed,
+	// so Restart brings back exactly those.
+	crashCut []bool
 
 	stats Stats
 }
@@ -79,12 +88,14 @@ type Switch struct {
 // New creates a switch with the given unique ID and port count.
 func New(eng *sim.Engine, id packet.SwitchID, ports int, cfg Config) *Switch {
 	s := &Switch{
-		id:        id,
-		eng:       eng,
-		cfg:       cfg,
-		links:     make([]*sim.Link, ports+1),
-		up:        make([]bool, ports+1),
-		lastAlarm: make([]sim.Time, ports+1),
+		id:           id,
+		eng:          eng,
+		cfg:          cfg,
+		links:        make([]*sim.Link, ports+1),
+		up:           make([]bool, ports+1),
+		lastAlarm:    make([]sim.Time, ports+1),
+		lastAlarmUp:  make([]bool, ports+1),
+		alarmPending: make([]bool, ports+1),
 	}
 	for i := range s.lastAlarm {
 		s.lastAlarm[i] = -1 << 62
@@ -102,6 +113,7 @@ func (s *Switch) Stats() Stats { return s.stats }
 func (s *Switch) AttachLink(port int, l *sim.Link) {
 	s.links[port] = l
 	s.up[port] = l.Up()
+	s.lastAlarmUp[port] = l.Up()
 }
 
 // LinkAt returns the link on a port (nil if unwired).
@@ -115,11 +127,65 @@ func (s *Switch) LinkAt(port int) *sim.Link {
 // Ports returns the port count.
 func (s *Switch) Ports() int { return len(s.links) - 1 }
 
+// Down reports whether the switch is crashed.
+func (s *Switch) Down() bool { return s.down }
+
+// Crash powers the switch off: every attached link goes dark (its far ends
+// see the physical link-down signal), arriving frames are dropped, and no
+// alarms originate here — a dead switch cannot announce its own death, its
+// neighbours do (§4.2 stage 1 still works because alarms are per-port and
+// both sides of a link observe the loss of light).
+func (s *Switch) Crash() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.crashCut = make([]bool, len(s.links))
+	for p := 1; p < len(s.links); p++ {
+		if l := s.links[p]; l != nil && l.Up() {
+			s.crashCut[p] = true
+			l.SetUp(false)
+		}
+	}
+}
+
+// Restart powers a crashed switch back on, restoring exactly the links it
+// took down at crash time (links failed independently stay failed). Boot
+// also re-advertises every port that is up: a link may have been restored
+// by the far side while this switch was dark (that link-up alarm died
+// here), so the boot-time port interrupts are the only way the rest of the
+// fabric learns those links are back.
+func (s *Switch) Restart() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	for p := 1; p < len(s.links); p++ {
+		l := s.links[p]
+		if l == nil {
+			continue
+		}
+		if s.crashCut != nil && s.crashCut[p] {
+			l.SetUp(true) // notifies both ends, alarming through PortStateChanged
+			continue
+		}
+		if l.Up() {
+			port := p
+			s.eng.After(0, func() { s.PortStateChanged(port, true) })
+		}
+	}
+	s.crashCut = nil
+}
+
 // Receive implements sim.Node: the entire dataplane. Both DumbNet
 // encodings are forwarded — the native one-byte tag stack and the MPLS
 // label stack used on commodity switches (§5.3); a frame's EtherType
 // selects the pop stage, exactly as static MPLS label→port rules would.
 func (s *Switch) Receive(inPort int, frame []byte) {
+	if s.down {
+		s.stats.DropSwitchDown++
+		return
+	}
 	if len(frame) >= packet.EthernetHeaderLen &&
 		EtherTypeOf(frame) == packet.EtherTypeMPLS {
 		s.receiveMPLS(frame)
@@ -325,18 +391,49 @@ func (s *Switch) floodLinkEvent(ev *packet.LinkEvent, exceptPort int) {
 }
 
 // PortStateChanged implements sim.PortMonitor: the hardware link signal.
-// The switch originates a hop-limited link-event flood, suppressing
-// duplicate alarms within the configured window (flapping links).
+// The switch originates a hop-limited link-event flood, damping flapping
+// links with the per-port suppression window. Suppression is deferred, not
+// lossy: a change inside the window schedules a trailing alarm at window
+// expiry that advertises the port's state at that moment if it differs from
+// the last state alarmed — so the network always eventually hears the truth,
+// at most one alarm per window per port.
 func (s *Switch) PortStateChanged(port int, up bool) {
 	if port >= 1 && port < len(s.up) {
 		s.up[port] = up
 	}
+	if s.down {
+		return // a crashed switch raises no alarms
+	}
 	now := s.eng.Now()
 	if now-s.lastAlarm[port] < s.cfg.SuppressWindow {
 		s.stats.AlarmsSquelch++
+		if port >= 1 && port < len(s.alarmPending) && !s.alarmPending[port] {
+			s.alarmPending[port] = true
+			s.eng.At(s.lastAlarm[port]+s.cfg.SuppressWindow, func() { s.trailingAlarm(port) })
+		}
 		return
 	}
-	s.lastAlarm[port] = now
+	s.sendAlarm(port, up)
+}
+
+// trailingAlarm fires when a port's suppression window expires: if the port
+// state settled somewhere the last alarm did not advertise, alarm now.
+func (s *Switch) trailingAlarm(port int) {
+	s.alarmPending[port] = false
+	if s.down {
+		return
+	}
+	if s.up[port] == s.lastAlarmUp[port] {
+		return // flapped back to the advertised state; nothing to say
+	}
+	s.sendAlarm(port, s.up[port])
+}
+
+// sendAlarm originates one link-event flood and opens a new suppression
+// window for the port.
+func (s *Switch) sendAlarm(port int, up bool) {
+	s.lastAlarm[port] = s.eng.Now()
+	s.lastAlarmUp[port] = up
 	s.alarmSeq++
 	s.stats.AlarmsSent++
 	ev := &packet.LinkEvent{

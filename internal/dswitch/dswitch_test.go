@@ -321,3 +321,101 @@ func TestSwitchAccessors(t *testing.T) {
 		t.Fatal("unwired ports should return nil")
 	}
 }
+
+func TestTrailingAlarmAdvertisesFinalState(t *testing.T) {
+	eng, fb, h1, _, _, _ := buildLine(t)
+	l, err := fb.LinkBetween(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down alarm opens the window; the restore inside it is deferred, not
+	// dropped: at window expiry a trailing alarm must advertise "up".
+	l.Fail()
+	eng.RunFor(10 * sim.Millisecond)
+	l.Restore()
+	eng.RunFor(5 * sim.Second)
+	st := fb.Switch(1).Stats()
+	if st.AlarmsSent != 2 {
+		t.Fatalf("alarms sent = %d, want 2 (down + trailing up)", st.AlarmsSent)
+	}
+	// The host behind switch 1 must have heard the final up event.
+	var sawUp bool
+	for i := range h1.frames {
+		f, err := packet.Decode(h1.frames[i])
+		if err != nil {
+			continue
+		}
+		typ, msg, err := packet.DecodeControl(f.Payload)
+		if err != nil || typ != packet.MsgLinkEvent {
+			continue
+		}
+		if ev := msg.(*packet.LinkEvent); ev.Switch == 1 && ev.Up {
+			sawUp = true
+		}
+	}
+	if !sawUp {
+		t.Fatal("trailing up alarm never reached the host")
+	}
+}
+
+func TestSwitchCrashAndRestart(t *testing.T) {
+	eng, fb, h1, h2, m1, m2 := buildLine(t)
+	mid := fb.Switch(2)
+	mid.Crash()
+	if !mid.Down() {
+		t.Fatal("switch not down after Crash")
+	}
+	eng.RunFor(100 * sim.Millisecond)
+	// Neighbours observed the dark ports and alarmed.
+	if fb.Switch(1).Stats().AlarmsSent == 0 || fb.Switch(3).Stats().AlarmsSent == 0 {
+		t.Fatal("neighbours did not alarm on switch crash")
+	}
+	// Frames through the dead switch die (on the downed link, before it).
+	f := &packet.Frame{Dst: m2, Src: m1, Tags: packet.Path{2, 2, 3},
+		InnerType: packet.EtherTypeIPv4, Payload: []byte("x")}
+	buf, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.send(buf)
+	eng.Run()
+	countData := func() int {
+		n := 0
+		for i := range h2.frames {
+			if fr, err := packet.Decode(h2.frames[i]); err == nil && fr.InnerType == packet.EtherTypeIPv4 {
+				n++
+			}
+		}
+		return n
+	}
+	if countData() != 0 {
+		t.Fatal("frame crossed a crashed switch")
+	}
+	// Restart: links come back, forwarding resumes after the suppression
+	// window lets the up alarms through.
+	mid.Restart()
+	eng.RunFor(2 * sim.Second)
+	buf, err = f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.send(buf)
+	eng.Run()
+	if got := countData(); got != 1 {
+		t.Fatalf("after restart h2 got %d data frames, want 1", got)
+	}
+}
+
+func TestCrashedSwitchDropsAndCounts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := dswitch.New(eng, 9, 4, dswitch.DefaultConfig())
+	sw.Crash()
+	sw.Receive(1, []byte{1, 2, 3})
+	if sw.Stats().DropSwitchDown != 1 {
+		t.Fatalf("stats = %+v", sw.Stats())
+	}
+	sw.Restart()
+	if sw.Down() {
+		t.Fatal("still down after Restart")
+	}
+}

@@ -6,6 +6,7 @@ package fabric
 
 import (
 	"dumbnet/internal/dswitch"
+	"dumbnet/internal/metrics"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
@@ -163,4 +164,111 @@ func (f *Fabric) Links() []*sim.Link {
 		out = append(out, l)
 	}
 	return out
+}
+
+// Switches returns the live switches keyed by ID in topology order.
+func (f *Fabric) Switches() []*dswitch.Switch {
+	out := make([]*dswitch.Switch, 0, len(f.switches))
+	for _, id := range f.Topo.SwitchIDs() {
+		if sw, ok := f.switches[id]; ok {
+			out = append(out, sw)
+		}
+	}
+	return out
+}
+
+// CrashSwitch power-fails a switch: all its links drop and frames reaching
+// it are discarded until RestartSwitch.
+func (f *Fabric) CrashSwitch(id packet.SwitchID) error {
+	sw, ok := f.switches[id]
+	if !ok {
+		return topo.ErrNoSwitch
+	}
+	sw.Crash()
+	return nil
+}
+
+// RestartSwitch powers a crashed switch back on, restoring exactly the
+// links its crash cut.
+func (f *Fabric) RestartSwitch(id packet.SwitchID) error {
+	sw, ok := f.switches[id]
+	if !ok {
+		return topo.ErrNoSwitch
+	}
+	sw.Restart()
+	return nil
+}
+
+// ImpairAllLinks installs an impairment model on every switch-to-switch
+// link (pass the zero Impairment to clear). Host uplinks stay clean: the
+// paper's failure domain is the fabric, not the NIC cable.
+func (f *Fabric) ImpairAllLinks(imp sim.Impairment) {
+	for _, l := range f.links {
+		l.Impair(imp)
+	}
+}
+
+// DropCounters aggregates every loss class across the fabric: link-level
+// queue drops and impairment losses (both directions of every switch link
+// and host uplink) plus the dumb switches' four drop classes.
+type DropCounters struct {
+	LinkQueue     uint64 // transmit-queue overflow drops
+	LinkDownTx    uint64 // sends attempted on downed links
+	ImpairLost    uint64 // impairment loss
+	ImpairCorrupt uint64 // impairment bit corruption
+	SwNoPort      uint64
+	SwLinkDown    uint64
+	SwBadFrame    uint64
+	SwEndOfPath   uint64
+	SwSwitchDown  uint64
+}
+
+// Counters exports the drop classes as an ordered metrics.CounterSet so
+// experiment harnesses can aggregate and render them alongside other stats.
+func (d DropCounters) Counters() *metrics.CounterSet {
+	cs := metrics.NewCounterSet()
+	cs.Set("link-queue-overflow", d.LinkQueue)
+	cs.Set("link-down-tx", d.LinkDownTx)
+	cs.Set("impair-lost", d.ImpairLost)
+	cs.Set("impair-corrupt", d.ImpairCorrupt)
+	cs.Set("switch-no-port", d.SwNoPort)
+	cs.Set("switch-link-down", d.SwLinkDown)
+	cs.Set("switch-bad-frame", d.SwBadFrame)
+	cs.Set("switch-end-of-path", d.SwEndOfPath)
+	cs.Set("switch-down", d.SwSwitchDown)
+	return cs
+}
+
+// Total sums every drop class.
+func (d DropCounters) Total() uint64 {
+	return d.LinkQueue + d.LinkDownTx + d.ImpairLost + d.ImpairCorrupt +
+		d.SwNoPort + d.SwLinkDown + d.SwBadFrame + d.SwEndOfPath + d.SwSwitchDown
+}
+
+// Drops sums loss counters over the whole fabric.
+func (f *Fabric) Drops() DropCounters {
+	var d DropCounters
+	addLink := func(l *sim.Link) {
+		for _, s := range []sim.LinkStats{l.StatsFrom(true), l.StatsFrom(false)} {
+			d.LinkQueue += s.Drops
+			d.LinkDownTx += s.DownTx
+			d.ImpairLost += s.ImpairLost
+			d.ImpairCorrupt += s.ImpairCorrupt
+		}
+	}
+	for _, l := range f.links {
+		addLink(l)
+	}
+	for _, l := range f.hostLink {
+		addLink(l)
+	}
+	for _, sw := range f.switches {
+		s := sw.Stats()
+		d.SwNoPort += s.DropNoPort
+		d.SwLinkDown += s.DropLinkDown
+		d.SwBadFrame += s.DropBadFrame
+		d.SwEndOfPath += s.DropEndOfPath
+		d.SwSwitchDown += s.DropSwitchDown
+	}
+	return d
 }

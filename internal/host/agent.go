@@ -29,8 +29,30 @@ type Config struct {
 	// EncapDelay is the extra header-manipulation cost of inserting the
 	// tag stack (the "+MPLS header copy" overhead of Fig 9).
 	EncapDelay sim.Time
-	// RequestTimeout is the controller path-request retry interval.
+	// RequestTimeout is the base controller path-request retry interval;
+	// retries back off exponentially from it (with jitter) up to
+	// RequestBackoffMax.
 	RequestTimeout sim.Time
+	// RequestBackoffMax caps the exponential retry backoff; 0 means 80 ms.
+	RequestBackoffMax sim.Time
+	// RequestBudget is how many attempts a path query gets per controller
+	// before failing over to the next advertised replica (and, once every
+	// replica's budget is spent, abandoning the query); 0 means 6.
+	RequestBudget int
+	// MaxSeenEvents caps the link-event dedup map with FIFO eviction;
+	// 0 means 4096, negative means unbounded.
+	MaxSeenEvents int
+	// BlackholeThreshold is how many consecutive sends to a destination
+	// with no return traffic trigger blackhole handling (invalidate the
+	// path, mark its hops suspect, re-query). 0 means 8, negative
+	// disables detection.
+	BlackholeThreshold int
+	// BlackholeWindow is how long the return-traffic silence must last
+	// before the send counter can trigger; 0 means 10 ms.
+	BlackholeWindow sim.Time
+	// SuspectTTL is how long blackhole-suspected hops are avoided when
+	// synthesizing paths from the TopoCache; 0 means 1 s.
+	SuspectTTL sim.Time
 	// MaxPending bounds packets queued per destination while a path
 	// request is outstanding.
 	MaxPending int
@@ -52,11 +74,17 @@ type Config struct {
 // DefaultConfig mirrors the prototype's behaviour.
 func DefaultConfig() Config {
 	return Config{
-		KPaths:         4,
-		ProcessDelay:   2 * sim.Microsecond,
-		EncapDelay:     80 * sim.Nanosecond,
-		RequestTimeout: 5 * sim.Millisecond,
-		MaxPending:     128,
+		KPaths:             4,
+		ProcessDelay:       2 * sim.Microsecond,
+		EncapDelay:         80 * sim.Nanosecond,
+		RequestTimeout:     5 * sim.Millisecond,
+		RequestBackoffMax:  80 * sim.Millisecond,
+		RequestBudget:      6,
+		MaxPending:         128,
+		MaxSeenEvents:      4096,
+		BlackholeThreshold: 8,
+		BlackholeWindow:    10 * sim.Millisecond,
+		SuspectTTL:         sim.Second,
 	}
 }
 
@@ -77,6 +105,11 @@ type Stats struct {
 	PatchesAppled uint64 // topology patches applied
 	FailoverHits  uint64 // sends that used a repaired/backup path after invalidation
 	VerifyFails   uint64 // application routes rejected by the verifier
+
+	EventsEvicted    uint64 // dedup entries dropped by FIFO eviction
+	CtrlFailovers    uint64 // switches to a backup controller replica
+	QueriesAbandoned uint64 // path queries given up after the full retry budget
+	Blackholes       uint64 // paths invalidated by blackhole detection
 
 	CEReceived        uint64 // frames that arrived with the CE mark
 	CongestionEchoes  uint64 // echoes sent back to marking senders
@@ -141,11 +174,21 @@ type Agent struct {
 	ctrlPath packet.Path // tags to reach the controller
 	seq      uint64
 
+	// Controller replica set for failover, as advertised via MsgCtrlList.
+	ctrlList    []packet.CtrlReplica
+	ctrlListSeq uint64
+	ctrlIdx     int // index of ctrl within ctrlList, -1 if not from the list
+
 	pending      map[packet.MAC][]pendingPacket
 	requestOpen  map[packet.MAC]bool
+	requestCtrl  map[packet.MAC]packet.MAC // which controller each open query targets
 	seenEvents   map[eventKey]bool
+	eventOrder   []eventKey // FIFO eviction order for seenEvents
+	eventHead    int
 	patchVersion uint64
 	lastEcho     map[packet.MAC]sim.Time
+	bh           map[packet.MAC]*bhState // blackhole detector state per destination
+	suspect      map[HopRef]sim.Time     // blackhole-suspected hops → expiry
 
 	// OnData delivers application payloads (src, innerType, payload).
 	OnData func(src packet.MAC, innerType uint16, payload []byte)
@@ -175,6 +218,16 @@ type eventKey struct {
 	up   bool
 }
 
+// bhState tracks return-traffic liveness per destination for blackhole
+// detection. The detector only arms once the destination has been heard
+// from at least once (one-way traffic is not evidence of a dead path).
+type bhState struct {
+	sends    int         // consecutive sends since the last frame from dst
+	lastRx   sim.Time    // virtual time we last heard from dst (0 = never)
+	lastHops []HopRef    // hops of the most recently used path
+	lastTags packet.Path // tags of the most recently used path
+}
+
 // New creates an agent for the host with the given MAC.
 func New(eng *sim.Engine, mac packet.MAC, cfg Config) *Agent {
 	if cfg.KPaths <= 0 {
@@ -186,15 +239,40 @@ func New(eng *sim.Engine, mac packet.MAC, cfg Config) *Agent {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 5 * sim.Millisecond
 	}
+	if cfg.RequestBackoffMax <= 0 {
+		cfg.RequestBackoffMax = 80 * sim.Millisecond
+	}
+	if cfg.RequestBackoffMax < cfg.RequestTimeout {
+		cfg.RequestBackoffMax = cfg.RequestTimeout
+	}
+	if cfg.RequestBudget <= 0 {
+		cfg.RequestBudget = 6
+	}
+	if cfg.MaxSeenEvents == 0 {
+		cfg.MaxSeenEvents = 4096
+	}
+	if cfg.BlackholeThreshold == 0 {
+		cfg.BlackholeThreshold = 8
+	}
+	if cfg.BlackholeWindow <= 0 {
+		cfg.BlackholeWindow = 10 * sim.Millisecond
+	}
+	if cfg.SuspectTTL <= 0 {
+		cfg.SuspectTTL = sim.Second
+	}
 	a := &Agent{
 		eng:         eng,
 		mac:         mac,
 		cfg:         cfg,
 		cache:       topo.NewSubgraph(),
+		ctrlIdx:     -1,
 		pending:     make(map[packet.MAC][]pendingPacket),
 		requestOpen: make(map[packet.MAC]bool),
+		requestCtrl: make(map[packet.MAC]packet.MAC),
 		seenEvents:  make(map[eventKey]bool),
 		lastEcho:    make(map[packet.MAC]sim.Time),
+		bh:          make(map[packet.MAC]*bhState),
+		suspect:     make(map[HopRef]sim.Time),
 	}
 	a.table = NewPathTable(cfg.KPaths)
 	a.Chooser = NewStickyChooser()
@@ -283,8 +361,9 @@ func (a *Agent) Send(dst packet.MAC, innerType uint16, payload []byte, flow Flow
 		}
 		return nil
 	}
-	tags, ok := a.routeFor(dst, flow)
+	tags, hops, ok := a.routeForHops(dst, flow)
 	if ok {
+		a.noteSend(dst, tags, hops)
 		a.stats.Sent++
 		return a.SendFrame(dst, tags, innerType, payload)
 	}
@@ -304,12 +383,19 @@ func (a *Agent) Send(dst packet.MAC, innerType uint16, payload []byte, flow Flow
 
 // routeFor returns header tags for dst, or false on a cache miss.
 func (a *Agent) routeFor(dst packet.MAC, flow FlowKey) (packet.Path, bool) {
+	tags, _, ok := a.routeForHops(dst, flow)
+	return tags, ok
+}
+
+// routeForHops is routeFor plus the chosen path's hop references, which the
+// blackhole detector records so it can mark the right links suspect.
+func (a *Agent) routeForHops(dst packet.MAC, flow FlowKey) (packet.Path, []HopRef, bool) {
 	entry := a.table.Lookup(dst)
 	if entry == nil {
 		// Try to synthesize from the TopoCache (the destination may be
 		// reachable via previously merged path graphs).
 		if !a.fillTableFromCache(dst) {
-			return nil, false
+			return nil, nil, false
 		}
 		entry = a.table.Lookup(dst)
 	}
@@ -317,7 +403,7 @@ func (a *Agent) routeFor(dst packet.MAC, flow FlowKey) (packet.Path, bool) {
 	if idx < 0 || idx >= len(entry.Paths) {
 		idx = 0
 	}
-	return entry.Paths[idx].Tags, true
+	return entry.Paths[idx].Tags, entry.Paths[idx].Hops, true
 }
 
 // Receive implements sim.Node: the ingress half of the kernel module. Both
@@ -348,6 +434,7 @@ func (a *Agent) deliver(f *packet.Frame) {
 	if f.Flags&packet.FlagCE != 0 {
 		a.handleCE(f.Src)
 	}
+	a.noteRx(f.Src)
 	if f.InnerType != packet.EtherTypeControl {
 		a.stats.Received++
 		if a.OnData != nil {
@@ -377,6 +464,8 @@ func (a *Agent) deliver(f *packet.Frame) {
 		a.handleTopoPatch(msg.(*packet.Blob))
 	case packet.MsgCongestion:
 		a.handleCongestion(msg.(*packet.Congestion))
+	case packet.MsgCtrlList:
+		a.handleCtrlList(msg.(*packet.CtrlList))
 	case packet.MsgData:
 		blob := msg.(*packet.Blob)
 		a.stats.Received++

@@ -35,6 +35,20 @@ func (a *Agent) applyLinkEvent(ev *packet.LinkEvent, flood bool) {
 	}
 	a.seenEvents[key] = true
 	a.stats.EventsSeen++
+	if a.cfg.MaxSeenEvents > 0 {
+		a.eventOrder = append(a.eventOrder, key)
+		for len(a.seenEvents) > a.cfg.MaxSeenEvents {
+			delete(a.seenEvents, a.eventOrder[a.eventHead])
+			a.eventHead++
+			a.stats.EventsEvicted++
+		}
+		// Compact the FIFO slice once the dead prefix dominates, keeping
+		// its footprint proportional to the live dedup set.
+		if a.eventHead > 64 && a.eventHead > len(a.eventOrder)/2 {
+			a.eventOrder = append(a.eventOrder[:0], a.eventOrder[a.eventHead:]...)
+			a.eventHead = 0
+		}
+	}
 
 	if !ev.Up {
 		// Patch the cache and fail over the PathTable immediately; an

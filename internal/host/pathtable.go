@@ -149,7 +149,7 @@ func (a *Agent) fillTableFromCache(dst packet.MAC) bool {
 	if err != nil || len(paths) == 0 {
 		return false
 	}
-	a.table.Install(dst, &TableEntry{Paths: paths})
+	a.table.Install(dst, &TableEntry{Paths: a.filterSuspects(paths)})
 	return true
 }
 
@@ -228,6 +228,24 @@ func (a *Agent) sendPathRequest(dst packet.MAC, attempt int) {
 	if !a.requestOpen[dst] {
 		return
 	}
+	budget := a.cfg.RequestBudget
+	// Each controller in the rotation (the current one plus every
+	// advertised replica) gets one budget's worth of attempts; after that
+	// the query is abandoned and queued packets are dropped.
+	if attempt >= budget*(1+len(a.ctrlList)) {
+		delete(a.requestOpen, dst)
+		delete(a.requestCtrl, dst)
+		a.stats.NoRouteDrops += uint64(len(a.pending[dst]))
+		delete(a.pending, dst)
+		a.stats.QueriesAbandoned++
+		return
+	}
+	if attempt > 0 && attempt%budget == 0 && a.requestCtrl[dst] == a.ctrl {
+		// This query exhausted its budget against the current controller
+		// and nobody else has rotated yet: fail over to the next replica.
+		a.failoverController()
+	}
+	a.requestCtrl[dst] = a.ctrl
 	body, err := packet.EncodeControl(packet.MsgPathRequest, &packet.PathRequest{
 		Src: a.mac, Dst: dst, Seq: a.nextSeq(),
 	})
@@ -239,8 +257,8 @@ func (a *Agent) sendPathRequest(dst packet.MAC, attempt int) {
 		a.stats.QueryRetries++
 	}
 	_ = a.SendFrame(a.ctrl, a.ctrlPath, packet.EtherTypeControl, body)
-	a.eng.After(a.cfg.RequestTimeout, func() {
-		if a.requestOpen[dst] && attempt < 8 {
+	a.eng.After(a.retryDelay(attempt), func() {
+		if a.requestOpen[dst] {
 			a.sendPathRequest(dst, attempt+1)
 		}
 	})
@@ -257,10 +275,11 @@ func (a *Agent) handlePathResponse(blob *packet.Blob) {
 	a.cache.Merge(pg.Graph)
 	dst := pg.Dst
 	delete(a.requestOpen, dst)
+	delete(a.requestCtrl, dst)
 
 	entry := &TableEntry{}
 	if paths, err := routesFromView(a.cache, a.mac, dst, a.cfg.KPaths); err == nil {
-		entry.Paths = paths
+		entry.Paths = a.filterSuspects(paths)
 	}
 	if len(pg.Backup) > 0 {
 		if bp, err := cachedPathFor(a.cache, pg.Backup, dst); err == nil {

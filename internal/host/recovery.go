@@ -1,0 +1,167 @@
+package host
+
+import (
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+)
+
+// Recovery hardening beyond the paper's stage-1/stage-2 story: controller
+// replica failover (when the primary stops answering path queries the host
+// rotates through a bootstrap-advertised replica list) and blackhole
+// detection (a cached path whose sends keep vanishing with no link event is
+// invalidated, its hops negatively cached, and the route re-queried).
+
+// handleCtrlList installs the controller replica set advertised by the
+// controller (MsgCtrlList). Stale advertisements (lower Seq) are ignored.
+func (a *Agent) handleCtrlList(m *packet.CtrlList) {
+	if m.Seq != 0 && m.Seq <= a.ctrlListSeq {
+		return
+	}
+	a.ctrlListSeq = m.Seq
+	a.ctrlList = a.ctrlList[:0]
+	a.ctrlIdx = -1
+	for _, r := range m.Replicas {
+		if r.MAC == a.ctrl {
+			a.ctrlIdx = len(a.ctrlList)
+		}
+		a.ctrlList = append(a.ctrlList, packet.CtrlReplica{MAC: r.MAC, Path: r.Path.Clone()})
+	}
+}
+
+// CtrlReplicas returns the advertised controller replica set.
+func (a *Agent) CtrlReplicas() []packet.CtrlReplica { return a.ctrlList }
+
+// failoverController rotates to the next replica in the advertised list.
+func (a *Agent) failoverController() {
+	if len(a.ctrlList) == 0 {
+		return
+	}
+	a.ctrlIdx = (a.ctrlIdx + 1) % len(a.ctrlList)
+	r := a.ctrlList[a.ctrlIdx]
+	a.ctrl = r.MAC
+	a.ctrlPath = r.Path.Clone()
+	a.stats.CtrlFailovers++
+}
+
+// retryDelay computes the backoff before retry `attempt+1`: exponential from
+// RequestTimeout, capped at RequestBackoffMax, with ±25% jitter drawn from
+// the engine's seeded source. The exponent restarts per controller so a
+// fresh replica gets fast retries again.
+func (a *Agent) retryDelay(attempt int) sim.Time {
+	d := a.cfg.RequestTimeout
+	for i := 0; i < attempt%a.cfg.RequestBudget; i++ {
+		d *= 2
+		if d >= a.cfg.RequestBackoffMax {
+			break
+		}
+	}
+	if d > a.cfg.RequestBackoffMax {
+		d = a.cfg.RequestBackoffMax
+	}
+	if j := int64(d / 4); j > 0 {
+		d += sim.Time(a.eng.Rand().Int63n(2*j+1) - j)
+	}
+	return d
+}
+
+// noteRx records return traffic from src: the path toward src is evidently
+// alive, so the blackhole counter resets and the detector (re)arms.
+func (a *Agent) noteRx(src packet.MAC) {
+	if a.cfg.BlackholeThreshold < 0 {
+		return
+	}
+	s := a.bh[src]
+	if s == nil {
+		s = &bhState{}
+		a.bh[src] = s
+	}
+	s.sends = 0
+	s.lastRx = a.eng.Now()
+}
+
+// noteSend counts a data send toward dst and triggers blackhole handling
+// once BlackholeThreshold consecutive sends have gone unanswered for longer
+// than BlackholeWindow. Only destinations we have heard from at least once
+// are eligible — one-way traffic proves nothing about the return of silence.
+func (a *Agent) noteSend(dst packet.MAC, tags packet.Path, hops []HopRef) {
+	if a.cfg.BlackholeThreshold < 0 {
+		return
+	}
+	s := a.bh[dst]
+	if s == nil {
+		s = &bhState{}
+		a.bh[dst] = s
+	}
+	s.lastTags = tags
+	s.lastHops = hops
+	if s.lastRx == 0 {
+		return // not armed: never heard from dst
+	}
+	s.sends++
+	if s.sends < a.cfg.BlackholeThreshold || a.eng.Now()-s.lastRx < a.cfg.BlackholeWindow {
+		return
+	}
+	a.onBlackhole(dst, s)
+}
+
+// onBlackhole invalidates the suspect path, negatively caches its hops for
+// SuspectTTL, tries a local detour from the TopoCache, and re-queries the
+// controller in the background.
+func (a *Agent) onBlackhole(dst packet.MAC, s *bhState) {
+	a.stats.Blackholes++
+	expiry := a.eng.Now() + a.cfg.SuspectTTL
+	for _, h := range s.lastHops {
+		a.suspect[h] = expiry
+	}
+	// Drop the poisoned entry; fillTableFromCache filters suspect hops.
+	a.table.Invalidate(dst)
+	if a.fillTableFromCache(dst) {
+		a.stats.FailoverHits++
+	}
+	if !a.ctrl.IsZero() {
+		a.requestPath(dst)
+	}
+	// Disarm until dst is heard from again, so one silent destination
+	// cannot poison every detour in a cascade.
+	s.sends = 0
+	s.lastRx = 0
+	s.lastHops = nil
+	s.lastTags = nil
+}
+
+// pathSuspect reports whether a path crosses a currently-suspect hop,
+// opportunistically expiring stale suspicion.
+func (a *Agent) pathSuspect(cp *CachedPath) bool {
+	if len(a.suspect) == 0 {
+		return false
+	}
+	now := a.eng.Now()
+	for _, h := range cp.Hops {
+		if exp, ok := a.suspect[h]; ok {
+			if now < exp {
+				return true
+			}
+			delete(a.suspect, h)
+		}
+	}
+	return false
+}
+
+// filterSuspects removes paths crossing suspect hops. If every path would
+// be removed the original set is returned unchanged — connectivity beats
+// caution when there is no clean alternative.
+func (a *Agent) filterSuspects(paths []CachedPath) []CachedPath {
+	if len(a.suspect) == 0 || len(paths) == 0 {
+		return paths
+	}
+	clean := make([]CachedPath, 0, len(paths))
+	for i := range paths {
+		if !a.pathSuspect(&paths[i]) {
+			clean = append(clean, paths[i])
+		}
+	}
+	if len(clean) == 0 {
+		return paths
+	}
+	return clean
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import "fmt"
+
+// CounterSet is an ordered collection of named uint64 counters — the shape
+// of loss/drop accounting across the fabric. Insertion order is preserved
+// so tables render deterministically.
+type CounterSet struct {
+	names  []string
+	counts map[string]uint64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counts: map[string]uint64{}}
+}
+
+// Add increments (or creates) the named counter.
+func (cs *CounterSet) Add(name string, delta uint64) {
+	if _, ok := cs.counts[name]; !ok {
+		cs.names = append(cs.names, name)
+	}
+	cs.counts[name] += delta
+}
+
+// Set overwrites (or creates) the named counter.
+func (cs *CounterSet) Set(name string, v uint64) {
+	if _, ok := cs.counts[name]; !ok {
+		cs.names = append(cs.names, name)
+	}
+	cs.counts[name] = v
+}
+
+// Get returns the named counter's value (0 if absent).
+func (cs *CounterSet) Get(name string) uint64 { return cs.counts[name] }
+
+// Names returns counter names in insertion order.
+func (cs *CounterSet) Names() []string {
+	return append([]string(nil), cs.names...)
+}
+
+// Total sums every counter.
+func (cs *CounterSet) Total() uint64 {
+	var sum uint64
+	for _, v := range cs.counts {
+		sum += v
+	}
+	return sum
+}
+
+// Merge adds every counter of other into cs, preserving cs's ordering for
+// counters both hold.
+func (cs *CounterSet) Merge(other *CounterSet) {
+	if other == nil {
+		return
+	}
+	for _, name := range other.names {
+		cs.Add(name, other.counts[name])
+	}
+}
+
+// Table renders the set as a two-column table, skipping zero counters when
+// nonZeroOnly is set (a chaos run typically exercises only a few classes).
+func (cs *CounterSet) Table(title string, nonZeroOnly bool) *Table {
+	tbl := NewTable(title, "counter", "count")
+	for _, name := range cs.names {
+		v := cs.counts[name]
+		if nonZeroOnly && v == 0 {
+			continue
+		}
+		tbl.AddRow(name, fmt.Sprintf("%d", v))
+	}
+	return tbl
+}
+
+// String renders every counter (including zeros) without a title.
+func (cs *CounterSet) String() string {
+	return cs.Table("", false).String()
+}

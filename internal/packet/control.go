@@ -46,6 +46,10 @@ const (
 	// back to the sender (the ECN extension, §8): like TCP's ECE, it tells
 	// the source which destination's path is congested.
 	MsgCongestion
+	// MsgCtrlList advertises the ordered controller replica set to a host,
+	// with per-host tag paths: the bootstrap information stage-1 failover
+	// to a backup controller relies on when the primary dies.
+	MsgCtrlList
 	// MsgStatsRequest asks a switch for its soft-state packet counters
 	// (the §8 statistics extension). Carried like an ID query: the request
 	// rides a probe path whose query tag punts it to the switch CPU.
@@ -77,6 +81,8 @@ func (t MsgType) String() string {
 		return "data"
 	case MsgCongestion:
 		return "congestion"
+	case MsgCtrlList:
+		return "ctrl-list"
 	case MsgStatsRequest:
 		return "stats-request"
 	case MsgStatsReply:
@@ -151,6 +157,20 @@ type StatsReply struct {
 type Congestion struct {
 	Reporter MAC    // the host that saw the CE mark
 	Seq      uint64 // reporter-local sequence for dedup/rate accounting
+}
+
+// CtrlReplica is one controller replica advertisement: the replica's host
+// identity plus the tag path from the advertised host to it. An empty path
+// on a non-self replica means "route via your own cache".
+type CtrlReplica struct {
+	MAC  MAC
+	Path Path
+}
+
+// CtrlList is the controller replica set, ordered by failover preference.
+type CtrlList struct {
+	Seq      uint64
+	Replicas []CtrlReplica
 }
 
 // Blob wraps opaque bytes for MsgPathResponse, MsgTopoPatch, MsgHostFlood
@@ -254,6 +274,17 @@ func EncodeControl(t MsgType, msg any) ([]byte, error) {
 		put64(m.Dropped)
 		put64(m.Marked)
 		put64(m.Floods)
+	case MsgCtrlList:
+		m, ok := msg.(*CtrlList)
+		if !ok || len(m.Replicas) > 255 {
+			return nil, ErrBadControlMsg
+		}
+		put64(m.Seq)
+		put8(uint8(len(m.Replicas)))
+		for _, r := range m.Replicas {
+			putMAC(r.MAC)
+			putPath(r.Path)
+		}
 	case MsgPathResponse, MsgTopoPatch, MsgHostFlood, MsgData:
 		m, ok := msg.(*Blob)
 		if !ok {
@@ -450,6 +481,27 @@ func DecodeControl(b []byte) (MsgType, any, error) {
 		}
 		if m.Floods, ok = get64(); !ok {
 			return fail()
+		}
+		return t, &m, nil
+	case MsgCtrlList:
+		var m CtrlList
+		var ok bool
+		if m.Seq, ok = get64(); !ok {
+			return fail()
+		}
+		count, ok := get8()
+		if !ok {
+			return fail()
+		}
+		for i := 0; i < int(count); i++ {
+			var r CtrlReplica
+			if r.MAC, ok = getMAC(); !ok {
+				return fail()
+			}
+			if r.Path, ok = getPath(); !ok {
+				return fail()
+			}
+			m.Replicas = append(m.Replicas, r)
 		}
 		return t, &m, nil
 	case MsgPathResponse, MsgTopoPatch, MsgHostFlood, MsgData:

@@ -87,6 +87,31 @@ func TestControlPathRequestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestControlCtrlListRoundTrip(t *testing.T) {
+	in := &CtrlList{Seq: 42, Replicas: []CtrlReplica{
+		{MAC: mac(9), Path: Path{}},
+		{MAC: mac(10), Path: Path{3, 1, 4}},
+		{MAC: mac(11), Path: Path{2}},
+	}}
+	b, err := EncodeControl(MsgCtrlList, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, out, err := DecodeControl(b)
+	if err != nil || typ != MsgCtrlList {
+		t.Fatalf("decode: %v %v", typ, err)
+	}
+	got := out.(*CtrlList)
+	if got.Seq != in.Seq || len(got.Replicas) != len(in.Replicas) {
+		t.Fatalf("mismatch: %+v", got)
+	}
+	for i, r := range got.Replicas {
+		if r.MAC != in.Replicas[i].MAC || !bytes.Equal(r.Path, in.Replicas[i].Path) {
+			t.Fatalf("replica %d mismatch: %+v != %+v", i, r, in.Replicas[i])
+		}
+	}
+}
+
 func TestControlBlobRoundTrip(t *testing.T) {
 	for _, typ := range []MsgType{MsgPathResponse, MsgTopoPatch, MsgHostFlood, MsgData} {
 		in := &Blob{Seq: 5, Body: []byte("opaque body")}

@@ -40,6 +40,28 @@ type LinkStats struct {
 	Bytes  uint64
 	Drops  uint64
 	DownTx uint64 // sends attempted while the link was down
+
+	ImpairLost    uint64 // frames dropped by probabilistic impairment loss
+	ImpairCorrupt uint64 // frames bit-flipped by impairment corruption
+	Jittered      uint64 // frames delivered with extra impairment latency
+}
+
+// Impairment models a degraded cable: probabilistic frame loss, random
+// single-bit corruption, and bounded latency jitter. All randomness is drawn
+// from the owning engine's seeded source, so impaired runs stay reproducible.
+// The zero value is a clean link.
+type Impairment struct {
+	// LossProb is the per-frame probability of silent loss, in [0, 1].
+	LossProb float64
+	// CorruptProb is the per-frame probability of flipping one random bit.
+	CorruptProb float64
+	// JitterMax adds a uniform random [0, JitterMax] delay per delivery.
+	JitterMax Time
+}
+
+// Active reports whether the impairment does anything.
+func (imp Impairment) Active() bool {
+	return imp.LossProb > 0 || imp.CorruptProb > 0 || imp.JitterMax > 0
 }
 
 type linkEnd struct {
@@ -58,6 +80,9 @@ type Link struct {
 	cfg  LinkConfig
 	a, b linkEnd
 	up   bool
+	imp  Impairment
+	// flapGen invalidates previously scheduled flap toggles when bumped.
+	flapGen uint64
 }
 
 // NewLink wires aNode's aPort to bNode's bPort. The link starts up.
@@ -126,6 +151,40 @@ func (l *Link) Fail() { l.SetUp(false) }
 // Restore is shorthand for SetUp(true).
 func (l *Link) Restore() { l.SetUp(true) }
 
+// Impair installs an impairment model on the link (both directions). Pass
+// the zero Impairment to clear it.
+func (l *Link) Impair(imp Impairment) { l.imp = imp }
+
+// Impairment returns the current impairment model.
+func (l *Link) Impairment() Impairment { return l.imp }
+
+// StartFlap schedules cycles of down/up toggles: after an initial delay the
+// link goes down for downFor, comes back for upFor, and repeats, cycles
+// times. A later StartFlap or StopFlap cancels any toggles still scheduled.
+func (l *Link) StartFlap(after, downFor, upFor Time, cycles int) {
+	l.flapGen++
+	gen := l.flapGen
+	var cycle func(remaining int)
+	cycle = func(remaining int) {
+		if gen != l.flapGen || remaining <= 0 {
+			return
+		}
+		l.SetUp(false)
+		l.eng.After(downFor, func() {
+			if gen != l.flapGen {
+				return
+			}
+			l.SetUp(true)
+			l.eng.After(upFor, func() { cycle(remaining - 1) })
+		})
+	}
+	l.eng.After(after, func() { cycle(cycles) })
+}
+
+// StopFlap cancels scheduled flap toggles. The link keeps its current state;
+// call Restore to force it up.
+func (l *Link) StopFlap() { l.flapGen++ }
+
 // SendFrom transmits a frame from the endpoint owned by node `from` (which
 // must be one of the link's endpoints; sends from elsewhere panic — that is
 // a wiring bug, not a runtime condition). The frame buffer is owned by the
@@ -145,6 +204,15 @@ func (l *Link) SendFrom(from Node, frame []byte) {
 		tx.stats.DownTx++
 		return
 	}
+	if l.imp.LossProb > 0 && l.eng.Rand().Float64() < l.imp.LossProb {
+		tx.stats.ImpairLost++
+		return
+	}
+	if l.imp.CorruptProb > 0 && len(frame) > 0 && l.eng.Rand().Float64() < l.imp.CorruptProb {
+		i := l.eng.Rand().Intn(len(frame))
+		frame[i] ^= 1 << uint(l.eng.Rand().Intn(8))
+		tx.stats.ImpairCorrupt++
+	}
 	now := l.eng.Now()
 	start := tx.busyUntil
 	if start < now {
@@ -163,6 +231,10 @@ func (l *Link) SendFrom(from Node, frame []byte) {
 	tx.stats.Frames++
 	tx.stats.Bytes += uint64(len(frame))
 	deliverAt := tx.busyUntil + l.cfg.PropDelay
+	if l.imp.JitterMax > 0 {
+		deliverAt += Time(l.eng.Rand().Int63n(int64(l.imp.JitterMax) + 1))
+		tx.stats.Jittered++
+	}
 	dst, dstPort := rx.node, rx.port
 	l.eng.At(deliverAt, func() {
 		if !l.up {

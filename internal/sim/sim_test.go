@@ -281,3 +281,129 @@ func TestLinkOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLinkImpairmentLoss(t *testing.T) {
+	e := NewEngine(7)
+	a := &collector{}
+	b := &collector{eng: e}
+	l := NewLink(e, a, 1, b, 1, LinkConfig{})
+	l.Impair(Impairment{LossProb: 0.5})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l.SendFrom(a, []byte{byte(i)})
+	}
+	e.Run()
+	st := l.StatsFrom(true)
+	if st.ImpairLost == 0 || int(st.ImpairLost)+len(b.frames) != n {
+		t.Fatalf("lost=%d delivered=%d", st.ImpairLost, len(b.frames))
+	}
+	if st.ImpairLost < n/4 || st.ImpairLost > 3*n/4 {
+		t.Fatalf("loss far from 50%%: %d/%d", st.ImpairLost, n)
+	}
+	// Clearing the impairment restores lossless delivery.
+	l.Impair(Impairment{})
+	got := len(b.frames)
+	for i := 0; i < 10; i++ {
+		l.SendFrom(a, []byte{1})
+	}
+	e.Run()
+	if len(b.frames) != got+10 {
+		t.Fatalf("clean link dropped frames: %d -> %d", got, len(b.frames))
+	}
+}
+
+func TestLinkImpairmentDeterministic(t *testing.T) {
+	run := func() (uint64, int) {
+		e := NewEngine(42)
+		a := &collector{}
+		b := &collector{eng: e}
+		l := NewLink(e, a, 1, b, 1, LinkConfig{})
+		l.Impair(Impairment{LossProb: 0.3, CorruptProb: 0.2, JitterMax: 5 * Microsecond})
+		for i := 0; i < 500; i++ {
+			l.SendFrom(a, []byte{byte(i), byte(i >> 8), 0})
+		}
+		e.Run()
+		st := l.StatsFrom(true)
+		return st.ImpairLost, len(b.frames)
+	}
+	l1, d1 := run()
+	l2, d2 := run()
+	if l1 != l2 || d1 != d2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", l1, d1, l2, d2)
+	}
+}
+
+func TestLinkImpairmentCorruption(t *testing.T) {
+	e := NewEngine(3)
+	a := &collector{}
+	b := &collector{eng: e}
+	l := NewLink(e, a, 1, b, 1, LinkConfig{})
+	l.Impair(Impairment{CorruptProb: 1})
+	l.SendFrom(a, []byte{0, 0, 0, 0})
+	e.Run()
+	if len(b.frames) != 1 {
+		t.Fatalf("corrupted frame not delivered")
+	}
+	var ones int
+	for _, by := range b.frames[0] {
+		for ; by != 0; by &= by - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("expected exactly one flipped bit, got %d", ones)
+	}
+	if l.StatsFrom(true).ImpairCorrupt != 1 {
+		t.Fatalf("stats = %+v", l.StatsFrom(true))
+	}
+}
+
+func TestLinkImpairmentJitterDelaysDelivery(t *testing.T) {
+	e := NewEngine(9)
+	a := &collector{}
+	b := &collector{eng: e}
+	l := NewLink(e, a, 1, b, 1, LinkConfig{PropDelay: 10 * Microsecond})
+	l.Impair(Impairment{JitterMax: 50 * Microsecond})
+	for i := 0; i < 50; i++ {
+		l.SendFrom(a, []byte{byte(i)})
+	}
+	e.Run()
+	var jittered bool
+	for _, at := range b.times {
+		if at < 10*Microsecond || at > 60*Microsecond {
+			t.Fatalf("delivery at %d outside jitter envelope", at)
+		}
+		if at > 10*Microsecond {
+			jittered = true
+		}
+	}
+	if !jittered {
+		t.Fatal("no frame was jittered")
+	}
+}
+
+func TestLinkFlapCyclesAndStop(t *testing.T) {
+	e := NewEngine(1)
+	a := &collector{}
+	b := &collector{}
+	l := NewLink(e, a, 1, b, 1, LinkConfig{})
+	l.StartFlap(10*Millisecond, 5*Millisecond, 5*Millisecond, 3)
+	e.RunUntil(100 * Millisecond)
+	// 3 cycles: down+up transitions observed by both port monitors... the
+	// collector here monitors nothing (no PortMonitor on b? it has one).
+	if !l.Up() {
+		t.Fatal("link should finish up after the last cycle")
+	}
+	// 3 downs + 3 ups seen by each endpoint monitor.
+	if len(b.states) != 6 {
+		t.Fatalf("expected 6 state changes, got %d (%v)", len(b.states), b.states)
+	}
+	// A second flap can be cancelled before it fires.
+	l.StartFlap(10*Millisecond, 5*Millisecond, 5*Millisecond, 100)
+	l.StopFlap()
+	before := len(b.states)
+	e.RunUntil(e.Now() + 200*Millisecond)
+	if len(b.states) != before {
+		t.Fatalf("cancelled flap still toggled the link: %d -> %d", before, len(b.states))
+	}
+}

@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -107,12 +108,27 @@ func (s *Subgraph) NumLinks() int {
 // NumHosts reports how many host attachments are cached.
 func (s *Subgraph) NumHosts() int { return len(s.hosts) }
 
+// Switches lists the covered switch IDs in ascending order.
+func (s *Subgraph) Switches() []SwitchID {
+	out := make([]SwitchID, 0, len(s.adj))
+	for id := range s.adj {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Hosts returns the cached attachments (unsorted).
 func (s *Subgraph) Hosts() []HostAttach {
 	out := make([]HostAttach, 0, len(s.hosts))
 	for _, at := range s.hosts {
 		out = append(out, at)
 	}
+	// MAC-sorted so callers that fan frames out over this list (the stage-1
+	// host flood) schedule sends in a deterministic order.
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i].Host[:], out[j].Host[:]) < 0
+	})
 	return out
 }
 
