@@ -123,12 +123,23 @@ func registry(repoRoot string) []experiment {
 
 func main() {
 	var (
-		runName = flag.String("run", "all", "experiment to run (or 'all')")
-		quick   = flag.Bool("quick", false, "smaller sweeps for fast runs")
-		list    = flag.Bool("list", false, "list experiments")
-		root    = flag.String("repo", ".", "repository root (for table1)")
+		runName     = flag.String("run", "all", "experiment to run (or 'all')")
+		quick       = flag.Bool("quick", false, "smaller sweeps for fast runs")
+		list        = flag.Bool("list", false, "list experiments")
+		root        = flag.String("repo", ".", "repository root (for table1)")
+		benchJSON   = flag.String("bench-json", "", "run the microbenchmark suite and write results to this JSON file")
+		benchLabel  = flag.String("bench-label", "current", "label recorded for the bench run in -bench-json output")
+		benchAppend = flag.Bool("bench-append", false, "append the bench run to an existing -bench-json file instead of overwriting")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchLabel, *benchAppend); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	exps := registry(*root)
 	if *list {

@@ -230,8 +230,8 @@ func (s *Switch) receiveMPLS(frame []byte) {
 
 // handleIDQueryMPLS answers an ID query carried in the MPLS encoding.
 func (s *Switch) handleIDQueryMPLS(frame []byte) {
-	f, err := packet.DecodeMPLS(frame)
-	if err != nil || len(f.Tags) < 2 {
+	var f packet.Frame
+	if err := packet.DecodeMPLSFrom(&f, frame); err != nil || len(f.Tags) < 2 {
 		s.stats.DropBadFrame++
 		return
 	}
@@ -245,15 +245,15 @@ func (s *Switch) handleIDQueryMPLS(frame []byte) {
 		return
 	}
 	returnPath := f.Tags[1:]
-	reply := &packet.Frame{
+	reply := packet.Frame{
 		Dst:       f.Src,
 		Src:       f.Dst,
 		Tags:      returnPath[1:],
 		InnerType: packet.EtherTypeControl,
 		Payload:   body,
 	}
-	buf, err := reply.EncodeMPLS()
-	if err != nil {
+	buf := packet.GetBuffer(packet.EncodedLenMPLS(len(reply.Tags), len(reply.Payload)))
+	if _, err := reply.EncodeMPLSTo(buf); err != nil {
 		s.stats.DropBadFrame++
 		return
 	}
@@ -289,7 +289,7 @@ func (s *Switch) transmit(port int, frame []byte, okCounter *uint64) {
 		packet.MarkCE(frame)
 		s.stats.ECNMarked++
 	}
-	s.eng.After(s.cfg.ForwardDelay, func() { l.SendFrom(s, frame) })
+	l.SendFromAfter(s, frame, s.cfg.ForwardDelay)
 }
 
 // handleIDQuery implements the switch-CPU punt path: the tag stack after
@@ -297,14 +297,15 @@ func (s *Switch) transmit(port int, frame []byte, okCounter *uint64) {
 // reply with its sequence echoed; a stats request (the §8 extension) gets
 // the soft-state counter snapshot.
 func (s *Switch) handleIDQuery(frame []byte) {
-	f, err := packet.Decode(frame)
-	if err != nil || len(f.Tags) < 2 {
+	var f packet.Frame
+	if err := packet.DecodeFrom(&f, frame); err != nil || len(f.Tags) < 2 {
 		// Need at least the query marker plus one return hop.
 		s.stats.DropBadFrame++
 		return
 	}
 	var seq uint64
 	var body []byte
+	var err error
 	t, msg, derr := packet.DecodeControl(f.Payload)
 	if derr == nil && t == packet.MsgStatsRequest {
 		req := msg.(*packet.StatsRequest)
@@ -327,15 +328,15 @@ func (s *Switch) handleIDQuery(frame []byte) {
 		return
 	}
 	returnPath := f.Tags[1:] // drop the query marker
-	reply := &packet.Frame{
+	reply := packet.Frame{
 		Dst:       f.Src,
 		Src:       f.Dst,
 		Tags:      returnPath[1:],
 		InnerType: packet.EtherTypeControl,
 		Payload:   body,
 	}
-	buf, err := reply.Encode()
-	if err != nil {
+	buf := packet.GetBuffer(packet.EncodedLen(len(reply.Tags), len(reply.Payload)))
+	if _, err := reply.EncodeTo(buf); err != nil {
 		s.stats.DropBadFrame++
 		return
 	}
@@ -346,8 +347,8 @@ func (s *Switch) handleIDQuery(frame []byte) {
 // The only legitimate case is a hop-limited link-event broadcast; anything
 // else is a misrouted data frame and is dropped.
 func (s *Switch) handleEndOfPath(inPort int, frame []byte) {
-	f, err := packet.Decode(frame)
-	if err != nil || f.InnerType != packet.EtherTypeControl {
+	var f packet.Frame
+	if err := packet.DecodeFrom(&f, frame); err != nil || f.InnerType != packet.EtherTypeControl {
 		s.stats.DropEndOfPath++
 		return
 	}
@@ -372,18 +373,20 @@ func (s *Switch) floodLinkEvent(ev *packet.LinkEvent, exceptPort int) {
 	if err != nil {
 		return
 	}
-	f := &packet.Frame{
+	f := packet.Frame{
 		Dst:       packet.BroadcastMAC,
 		Tags:      nil, // ø immediately: consumed by each receiver
 		InnerType: packet.EtherTypeControl,
 		Payload:   body,
 	}
+	need := packet.EncodedLen(0, len(body))
 	for port := 1; port < len(s.links); port++ {
 		if port == exceptPort || s.links[port] == nil || !s.links[port].Up() {
 			continue
 		}
-		buf, err := f.Encode()
-		if err != nil {
+		// Each port gets its own buffer: the link owns it after transmit.
+		buf := packet.GetBuffer(need)
+		if _, err := f.EncodeTo(buf); err != nil {
 			return
 		}
 		s.transmit(port, buf, &s.stats.FloodsOut)

@@ -109,7 +109,7 @@ func (s *LearningSwitch) SendRaw(port int, frame []byte) {
 	if l == nil || !l.Up() {
 		return
 	}
-	s.eng.After(s.delay, func() { l.SendFrom(s, frame) })
+	l.SendFromAfter(s, frame, s.delay)
 }
 
 // PortStateChanged implements sim.PortMonitor.
@@ -189,7 +189,7 @@ func (s *LearningSwitch) send(port int, frame []byte, counter *uint64) {
 		return
 	}
 	*counter++
-	s.eng.After(s.delay, func() { l.SendFrom(s, frame) })
+	l.SendFromAfter(s, frame, s.delay)
 }
 
 // EtherTypeOf extracts the EtherType of a raw Ethernet frame (helper shared

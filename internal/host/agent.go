@@ -10,6 +10,7 @@ package host
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
@@ -318,32 +319,58 @@ func (a *Agent) nextSeq() uint64 {
 	return a.seq
 }
 
+// deliverEvent defers one parsed frame through the datapath processing
+// delay. Pooled, so the per-frame receive path allocates nothing beyond
+// what the frame itself requires. buf is the raw receive buffer, recycled
+// after control frames (whose payloads DecodeControl copies out in full);
+// data frame buffers stay alive because OnData may retain the payload.
+type deliverEvent struct {
+	a   *Agent
+	f   packet.Frame
+	buf []byte
+}
+
+var deliverPool = sync.Pool{New: func() any { return new(deliverEvent) }}
+
+func (d *deliverEvent) RunEvent() {
+	d.a.deliver(&d.f)
+	if d.buf != nil && d.f.InnerType == packet.EtherTypeControl {
+		packet.PutBuffer(d.buf)
+	}
+	*d = deliverEvent{}
+	deliverPool.Put(d)
+}
+
 // SendFrame transmits a raw DumbNet frame with explicit tags after the
 // datapath processing delay. Exported for the controller and extensions.
 func (a *Agent) SendFrame(dst packet.MAC, tags packet.Path, innerType uint16, payload []byte) error {
 	if dst == a.mac && len(tags) == 0 {
 		// Self-addressed control (e.g. the controller's own agent talking
 		// to the controller process): loop back locally.
-		f := &packet.Frame{Dst: dst, Src: a.mac, InnerType: innerType, Payload: payload}
-		a.eng.After(a.cfg.ProcessDelay, func() { a.deliver(f) })
+		d := deliverPool.Get().(*deliverEvent)
+		d.a = a
+		d.f = packet.Frame{Dst: dst, Src: a.mac, InnerType: innerType, Payload: payload}
+		a.eng.AfterEvent(a.cfg.ProcessDelay, d)
 		return nil
 	}
 	if a.link == nil {
 		return fmt.Errorf("host %v: no uplink", a.mac)
 	}
-	f := &packet.Frame{Dst: dst, Src: a.mac, Tags: tags, InnerType: innerType, Payload: payload}
+	f := packet.Frame{Dst: dst, Src: a.mac, Tags: tags, InnerType: innerType, Payload: payload}
 	var buf []byte
 	var err error
 	if a.cfg.UseMPLS {
-		buf, err = f.EncodeMPLS()
+		buf = packet.GetBuffer(packet.EncodedLenMPLS(len(tags), len(payload)))
+		_, err = f.EncodeMPLSTo(buf)
 	} else {
-		buf, err = f.Encode()
+		buf = packet.GetBuffer(packet.EncodedLen(len(tags), len(payload)))
+		_, err = f.EncodeTo(buf)
 	}
 	if err != nil {
+		packet.PutBuffer(buf)
 		return err
 	}
-	delay := a.cfg.ProcessDelay + a.cfg.EncapDelay
-	a.eng.After(delay, func() { a.link.SendFrom(a, buf) })
+	a.link.SendFromAfter(a, buf, a.cfg.ProcessDelay+a.cfg.EncapDelay)
 	return nil
 }
 
@@ -408,26 +435,28 @@ func (a *Agent) routeForHops(dst packet.MAC, flow FlowKey) (packet.Path, []HopRe
 
 // Receive implements sim.Node: the ingress half of the kernel module. Both
 // encodings are accepted regardless of the send-side configuration, as on
-// a real NIC.
+// a real NIC. The frame is decoded straight into a pooled deliver event:
+// no Frame allocation, no closure.
 func (a *Agent) Receive(port int, frame []byte) {
-	var f *packet.Frame
+	d := deliverPool.Get().(*deliverEvent)
 	var err error
 	if len(frame) >= packet.EthernetHeaderLen &&
 		frame[12] == byte(packet.EtherTypeMPLS>>8) && frame[13] == byte(packet.EtherTypeMPLS&0xFF) {
-		f, err = packet.DecodeMPLS(frame)
+		err = packet.DecodeMPLSFrom(&d.f, frame)
 	} else {
-		f, err = packet.Decode(frame)
+		err = packet.DecodeFrom(&d.f, frame)
 	}
-	if err != nil {
+	if err != nil || len(d.f.Tags) != 0 {
+		// Undecodable, or path not fully consumed: the kernel module drops
+		// it (§5.1).
+		*d = deliverEvent{}
+		deliverPool.Put(d)
 		a.stats.BadFrames++
 		return
 	}
-	if len(f.Tags) != 0 {
-		// Path not fully consumed: the kernel module drops it (§5.1).
-		a.stats.BadFrames++
-		return
-	}
-	a.eng.After(a.cfg.ProcessDelay, func() { a.deliver(f) })
+	d.a = a
+	d.buf = frame
+	a.eng.AfterEvent(a.cfg.ProcessDelay, d)
 }
 
 func (a *Agent) deliver(f *packet.Frame) {

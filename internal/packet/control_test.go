@@ -192,14 +192,7 @@ func TestLinkEventProperty(t *testing.T) {
 	}
 }
 
-// Property: decoding random bytes never panics and either fails or
-// re-encodes to a valid message.
-func TestDecodeControlFuzzProperty(t *testing.T) {
-	f := func(b []byte) bool {
-		_, _, _ = DecodeControl(b) // must not panic
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
-		t.Fatal(err)
-	}
-}
+// Decoding random bytes is covered by the native fuzz targets in
+// fuzz_test.go (FuzzDecodeControl and friends), which replaced the old
+// quick.Check property here with mutation-guided corpora and a full
+// encode∘decode round-trip check.

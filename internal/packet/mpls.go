@@ -40,6 +40,24 @@ func (f *Frame) EncodeMPLS() ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, EncodedLenMPLS(len(f.Tags), len(f.Payload)))
+	n, err := f.EncodeMPLSTo(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// EncodeMPLSTo serialises the frame in the MPLS encoding into buf, returning
+// the number of bytes written. buf must be at least
+// EncodedLenMPLS(len(f.Tags), len(f.Payload)).
+func (f *Frame) EncodeMPLSTo(buf []byte) (int, error) {
+	if err := ValidatePath(f.Tags); err != nil {
+		return 0, err
+	}
+	need := EncodedLenMPLS(len(f.Tags), len(f.Payload))
+	if len(buf) < need {
+		return 0, ErrTooShort
+	}
 	copy(buf[0:6], f.Dst[:])
 	copy(buf[6:12], f.Src[:])
 	binary.BigEndian.PutUint16(buf[12:14], EtherTypeMPLS)
@@ -53,25 +71,39 @@ func (f *Frame) EncodeMPLS() ([]byte, error) {
 	binary.BigEndian.PutUint16(buf[off:off+2], f.InnerType)
 	off += 2
 	copy(buf[off:], f.Payload)
-	return buf, nil
+	return need, nil
 }
 
 // DecodeMPLS parses an MPLS-encoded DumbNet frame. The returned Frame's
 // Payload aliases buf; Tags is freshly allocated (labels must be unpacked).
 func DecodeMPLS(buf []byte) (*Frame, error) {
+	f := new(Frame)
+	if err := DecodeMPLSFrom(f, buf); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeMPLSFrom parses an MPLS-encoded DumbNet frame into a caller-provided
+// Frame, reusing f.Tags' backing array when it has capacity — the
+// zero-allocation form of DecodeMPLS. Payload aliases buf; every field of f
+// is overwritten.
+func DecodeMPLSFrom(f *Frame, buf []byte) error {
+	f.Flags = 0 // the MPLS encoding has no flags byte
+	f.Tags = f.Tags[:0]
+	f.Payload = nil
 	if len(buf) < EthernetHeaderLen+MPLSEntryLen+2 {
-		return nil, ErrTooShort
+		return ErrTooShort
 	}
 	if binary.BigEndian.Uint16(buf[12:14]) != EtherTypeMPLS {
-		return nil, ErrNotMPLS
+		return ErrNotMPLS
 	}
-	var f Frame
 	copy(f.Dst[:], buf[0:6])
 	copy(f.Src[:], buf[6:12])
 	off := EthernetHeaderLen
 	for {
 		if off+MPLSEntryLen > len(buf) {
-			return nil, ErrTruncatedMPLS
+			return ErrTruncatedMPLS
 		}
 		entry := binary.BigEndian.Uint32(buf[off : off+MPLSEntryLen])
 		label := entry >> 12
@@ -80,21 +112,21 @@ func DecodeMPLS(buf []byte) (*Frame, error) {
 		if bottom {
 			if Tag(label) != TagEnd {
 				// Path not fully consumed when it reached the host.
-				return nil, ErrNotAtEnd
+				return ErrNotAtEnd
 			}
 			break
 		}
 		f.Tags = append(f.Tags, Tag(label))
 		if len(f.Tags) > MaxPathLen {
-			return nil, ErrPathTooLong
+			return ErrPathTooLong
 		}
 	}
 	if off+2 > len(buf) {
-		return nil, ErrTooShort
+		return ErrTooShort
 	}
 	f.InnerType = binary.BigEndian.Uint16(buf[off : off+2])
 	f.Payload = buf[off+2:]
-	return &f, nil
+	return nil
 }
 
 // TopLabelMPLS returns the first label of an MPLS frame — the switch-side

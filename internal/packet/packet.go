@@ -219,14 +219,25 @@ func (f *Frame) EncodeTo(buf []byte) (int, error) {
 // Decode parses a native DumbNet frame. The returned Frame's Tags and
 // Payload alias buf.
 func Decode(buf []byte) (*Frame, error) {
+	f := new(Frame)
+	if err := DecodeFrom(f, buf); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeFrom parses a native DumbNet frame into a caller-provided Frame —
+// the zero-allocation form of Decode for hot paths that reuse one Frame per
+// receiver. The decoded Tags and Payload alias buf; every field of f is
+// overwritten.
+func DecodeFrom(f *Frame, buf []byte) error {
 	if len(buf) < headerLen+1+2 {
-		return nil, ErrTooShort
+		return ErrTooShort
 	}
 	et := binary.BigEndian.Uint16(buf[12:14])
 	if et != EtherTypeDumbNet {
-		return nil, ErrNotDumbNet
+		return ErrNotDumbNet
 	}
-	var f Frame
 	copy(f.Dst[:], buf[0:6])
 	copy(f.Src[:], buf[6:12])
 	f.Flags = buf[FlagsOffset]
@@ -239,15 +250,17 @@ func Decode(buf []byte) (*Frame, error) {
 		}
 	}
 	if end < 0 {
-		return nil, ErrNoEndTag
+		f.Tags, f.Payload = nil, nil
+		return ErrNoEndTag
 	}
 	if len(buf) < end+3 {
-		return nil, ErrTooShort
+		f.Tags, f.Payload = nil, nil
+		return ErrTooShort
 	}
 	f.Tags = Path(buf[off:end])
 	f.InnerType = binary.BigEndian.Uint16(buf[end+1 : end+3])
 	f.Payload = buf[end+3:]
-	return &f, nil
+	return nil
 }
 
 // TopTag returns the first routing tag of an encoded DumbNet frame without

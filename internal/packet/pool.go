@@ -1,0 +1,55 @@
+package packet
+
+import "sync"
+
+// Frame buffer pool. Encoding a frame for transmission needs a fresh byte
+// buffer whose lifetime ends somewhere far away (after delivery, once the
+// receiver has parsed it) — the classic churn source in a software
+// dataplane. GetBuffer/PutBuffer recycle those buffers through a sync.Pool:
+// senders draw from the pool instead of make(), and receivers that can
+// prove the buffer dead (control frames, whose payloads are fully copied
+// out during decode) return it.
+//
+// Recycled buffers may have lost capacity at the front: every switch hop
+// pops one tag by re-slicing the frame forward (PopTag), so a buffer that
+// crossed k hops comes back k bytes (or k MPLS entries) shorter. PutBuffer
+// keeps any buffer that still has useful capacity and quietly drops the
+// rest.
+
+// DefaultBufferCap is the capacity of freshly pooled buffers: an MTU-sized
+// payload plus the largest practical header (full MaxPathLen tag stack).
+const DefaultBufferCap = 2048
+
+// minRecycleCap is the smallest buffer worth recycling; anything shorter is
+// left to the garbage collector.
+const minRecycleCap = 256
+
+var bufPool = sync.Pool{
+	New: func() any { return make([]byte, DefaultBufferCap) },
+}
+
+// GetBuffer returns a length-n byte buffer, drawn from the pool when a
+// pooled buffer is large enough.
+func GetBuffer(n int) []byte {
+	if n > DefaultBufferCap {
+		return make([]byte, n)
+	}
+	b := bufPool.Get().([]byte)
+	if cap(b) < n {
+		// A recycled buffer that shrank below n (tag pops eat the front):
+		// retire it and allocate fresh at full capacity.
+		return make([]byte, n, DefaultBufferCap)
+	}
+	return b[:n]
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not touch buf
+// afterwards. Buffers that shrank too far, or were allocated oversized
+// outside the pool, are dropped.
+func PutBuffer(buf []byte) {
+	c := cap(buf)
+	if c < minRecycleCap || c > DefaultBufferCap {
+		return
+	}
+	bufPool.Put(buf[:c])
+}

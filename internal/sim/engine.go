@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -32,35 +31,110 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // FromDuration converts a wall-clock duration into virtual time.
 func FromDuration(d time.Duration) Time { return Time(d) }
 
+// Handler is the typed, allocation-free alternative to a closure callback:
+// implementations are usually pooled structs whose fields carry the event's
+// arguments. RunEvent fires at the scheduled virtual time; a pooled handler
+// should copy its fields to locals (or finish using them) and return itself
+// to its pool before or after running, never while still scheduled.
+type Handler interface {
+	RunEvent()
+}
+
+// event is one scheduled callback: either a closure (fn) or a typed Handler
+// (h). Exactly one of the two is set.
 type event struct {
 	at  Time
 	seq uint64 // FIFO tie-break for same-time events
 	fn  func()
+	h   Handler
 }
 
+// before orders events by (time, schedule order).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+func (e *event) run() {
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	e.h.RunEvent()
+}
+
+// eventHeap is a concrete-typed binary min-heap of events. It deliberately
+// does not use container/heap: boxing events through `any` in Push/Pop
+// allocates on every operation, which dominated the event loop's cost.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)         { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event         { return h[0] }
-func (h *eventHeap) pop() event         { return heap.Pop(h).(event) }
-func (h *eventHeap) push(e event)       { heap.Push(h, e) }
-func (h eventHeap) emptyHeap() bool     { return len(h) == 0 }
-func (h eventHeap) nextEventTime() Time { return h[0].at }
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release callback references for the GC
+	*h = s[:n]
+	if n > 1 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		least := l
+		if r < n && h[r].before(&h[l]) {
+			least = r
+		}
+		if !h[least].before(&h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
 
 // Engine is the simulation core. It is single-threaded: all event handlers
 // run sequentially in virtual-time order, so models need no locking.
+//
+// Scheduling uses two structures. The heap handles the general case in
+// O(log n). The bucket is a timer-wheel-style fast path for the dominant
+// workload pattern — bursts of events sharing one deadline (a switch
+// forwarding a batch of frames all at now+ForwardDelay, a link delivering
+// back-to-back at the same serialization boundary): events whose deadline
+// matches the armed bucket append in O(1) and drain FIFO. Both structures
+// reuse their backing arrays, so a steady-state schedule/execute cycle
+// performs no heap allocations.
 type Engine struct {
 	now       Time
 	events    eventHeap
+	bucket    []event // events sharing the bucketAt deadline, FIFO
+	bucketAt  Time
+	bucketPos int // next unconsumed bucket entry
 	seq       uint64
 	rng       *rand.Rand
 	processed uint64
@@ -81,29 +155,85 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending reports how many events are scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	return len(e.events) + (len(e.bucket) - e.bucketPos)
+}
 
-// At schedules fn at absolute virtual time t (clamped to now).
-func (e *Engine) At(t Time, fn func()) {
+// schedule enqueues one event (fn or h) at absolute time t.
+func (e *Engine) schedule(t Time, fn func(), h Handler) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	ev := event{at: t, seq: e.seq, fn: fn, h: h}
+	if e.bucketPos == len(e.bucket) {
+		// Bucket drained: re-arm it on this deadline.
+		e.bucket = append(e.bucket[:0], ev)
+		e.bucketPos = 0
+		e.bucketAt = t
+		return
+	}
+	if t == e.bucketAt {
+		e.bucket = append(e.bucket, ev)
+		return
+	}
+	e.events.push(ev)
 }
 
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, fn, nil) }
+
 // After schedules fn d nanoseconds of virtual time from now.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+func (e *Engine) After(d Time, fn func()) { e.schedule(e.now+d, fn, nil) }
+
+// AtEvent schedules a typed handler at absolute virtual time t (clamped to
+// now). Unlike At, it allocates nothing: the handler is typically a pooled
+// struct carrying its own arguments.
+func (e *Engine) AtEvent(t Time, h Handler) { e.schedule(t, nil, h) }
+
+// AfterEvent schedules a typed handler d nanoseconds of virtual time from
+// now.
+func (e *Engine) AfterEvent(d Time, h Handler) { e.schedule(e.now+d, nil, h) }
+
+// nextEventTime returns the earliest scheduled deadline; ok is false when no
+// events remain.
+func (e *Engine) nextEventTime() (at Time, ok bool) {
+	inBucket := e.bucketPos < len(e.bucket)
+	switch {
+	case inBucket && len(e.events) > 0:
+		if e.bucketAt <= e.events[0].at {
+			return e.bucketAt, true
+		}
+		return e.events[0].at, true
+	case inBucket:
+		return e.bucketAt, true
+	case len(e.events) > 0:
+		return e.events[0].at, true
+	}
+	return 0, false
+}
 
 // Step executes the next event; it reports false when none remain.
 func (e *Engine) Step() bool {
-	if e.events.emptyHeap() {
+	var ev event
+	inBucket := e.bucketPos < len(e.bucket)
+	switch {
+	case !inBucket && len(e.events) == 0:
 		return false
+	case inBucket && (len(e.events) == 0 || e.bucket[e.bucketPos].before(&e.events[0])):
+		ev = e.bucket[e.bucketPos]
+		e.bucket[e.bucketPos] = event{} // release callback references
+		e.bucketPos++
+		if e.bucketPos == len(e.bucket) {
+			e.bucket = e.bucket[:0]
+			e.bucketPos = 0
+		}
+	default:
+		ev = e.events.pop()
 	}
-	ev := e.events.pop()
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	ev.run()
 	return true
 }
 
@@ -116,7 +246,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= deadline, then advances the clock to
 // the deadline. Events scheduled later stay queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for !e.events.emptyHeap() && e.events.nextEventTime() <= deadline {
+	for {
+		at, ok := e.nextEventTime()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {

@@ -1,5 +1,7 @@
 package sim
 
+import "sync"
+
 // Node is anything that can receive frames from a link: a switch or a host
 // NIC. Receive runs at frame-delivery virtual time.
 type Node interface {
@@ -185,6 +187,55 @@ func (l *Link) StartFlap(after, downFor, upFor Time, cycles int) {
 // call Restore to force it up.
 func (l *Link) StopFlap() { l.flapGen++ }
 
+// deliverEvent carries one in-flight frame to its receiving endpoint. The
+// structs are pooled so per-frame delivery costs no heap allocation — the
+// dominant event type in any traffic-carrying simulation.
+type deliverEvent struct {
+	link  *Link
+	dst   Node
+	port  int
+	frame []byte
+}
+
+var deliverPool = sync.Pool{New: func() any { return new(deliverEvent) }}
+
+func (d *deliverEvent) RunEvent() {
+	link, dst, port, frame := d.link, d.dst, d.port, d.frame
+	*d = deliverEvent{}
+	deliverPool.Put(d)
+	if !link.up {
+		return // link died while the frame was in flight
+	}
+	dst.Receive(port, frame)
+}
+
+// sendEvent defers a SendFrom by a pipeline delay (switch forwarding, host
+// encap) without allocating a closure per frame.
+type sendEvent struct {
+	link  *Link
+	from  Node
+	frame []byte
+}
+
+var sendPool = sync.Pool{New: func() any { return new(sendEvent) }}
+
+func (s *sendEvent) RunEvent() {
+	link, from, frame := s.link, s.from, s.frame
+	*s = sendEvent{}
+	sendPool.Put(s)
+	link.SendFrom(from, frame)
+}
+
+// SendFromAfter schedules SendFrom(from, frame) after d nanoseconds of
+// virtual time. It is the hot-path form used by switch forwarding and host
+// encapsulation: the deferral is a pooled typed event, so it performs no
+// per-frame allocation where an equivalent closure would.
+func (l *Link) SendFromAfter(from Node, frame []byte, d Time) {
+	s := sendPool.Get().(*sendEvent)
+	s.link, s.from, s.frame = l, from, frame
+	l.eng.AfterEvent(d, s)
+}
+
 // SendFrom transmits a frame from the endpoint owned by node `from` (which
 // must be one of the link's endpoints; sends from elsewhere panic — that is
 // a wiring bug, not a runtime condition). The frame buffer is owned by the
@@ -235,11 +286,7 @@ func (l *Link) SendFrom(from Node, frame []byte) {
 		deliverAt += Time(l.eng.Rand().Int63n(int64(l.imp.JitterMax) + 1))
 		tx.stats.Jittered++
 	}
-	dst, dstPort := rx.node, rx.port
-	l.eng.At(deliverAt, func() {
-		if !l.up {
-			return // link died while the frame was in flight
-		}
-		dst.Receive(dstPort, frame)
-	})
+	d := deliverPool.Get().(*deliverEvent)
+	d.link, d.dst, d.port, d.frame = l, rx.node, rx.port, frame
+	l.eng.AtEvent(deliverAt, d)
 }
