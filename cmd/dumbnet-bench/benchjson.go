@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"testing"
 
+	"dumbnet/internal/dswitch"
 	"dumbnet/internal/experiments"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
+	"dumbnet/internal/trace"
 )
 
 // Machine-readable benchmark emission (BENCH_results.json). Each invocation
@@ -153,6 +155,23 @@ func microBenches() []struct {
 				e.Run()
 			}
 		}},
+		// The traced/untraced pair quantifies flight-recorder overhead on
+		// the switch forwarding path; TraceHopRecord isolates the ring
+		// append itself.
+		{"SwitchForwardUntraced", func(b *testing.B) {
+			benchSwitchForward(b, nil)
+		}},
+		{"SwitchForwardTraced", func(b *testing.B) {
+			benchSwitchForward(b, trace.NewRecorder(trace.DefaultConfig()))
+		}},
+		{"TraceHopRecord", func(b *testing.B) {
+			rec := trace.NewRecorder(trace.DefaultConfig())
+			buf, _ := benchFrame().Encode()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec.PacketHop(int64(i), 100, 1, 2, buf)
+			}
+		}},
 		// The Fig 9/10 benches record cost only. Their shape checks include
 		// wall-clock-sensitive comparisons that get noisy over hundreds of
 		// sustained bench iterations, so misses are warned, not fatal; claim
@@ -180,6 +199,40 @@ func microBenches() []struct {
 				warnShapeMiss("fig10", res)
 			}
 		}},
+	}
+}
+
+// benchSwitchForward measures one switch hop end to end — host link in,
+// tag pop, switch link out — with or without a flight recorder attached.
+func benchSwitchForward(b *testing.B, rec *trace.Recorder) {
+	e := sim.NewEngine(1)
+	if rec != nil {
+		e.SetTracer(rec)
+	}
+	sw := dswitch.New(e, 1, 4, dswitch.DefaultConfig())
+	src, dst := &benchSink{}, &benchSink{}
+	lcfg := sim.LinkConfig{PropDelay: 500 * sim.Nanosecond, BandwidthBps: 10e9}
+	up := sim.NewLink(e, src, 1, sw, 1, lcfg)
+	sw.AttachLink(1, up)
+	down := sim.NewLink(e, sw, 2, dst, 1, lcfg)
+	sw.AttachLink(2, down)
+	f := benchFrame()
+	f.Tags = packet.Path{2}
+	master, err := f.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, len(master))
+	// Warm the event pools so steady state is measured.
+	copy(buf, master)
+	up.SendFrom(src, buf)
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, master)
+		up.SendFrom(src, buf)
+		e.Run()
 	}
 }
 

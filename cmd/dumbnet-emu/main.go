@@ -13,13 +13,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dumbnet/internal/chaos"
 	"dumbnet/internal/core"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/trace"
 )
 
 func buildTopology(kind string, k, n int) (*topo.Topology, int, error) {
@@ -60,9 +65,49 @@ func main() {
 		flap      = flag.Bool("flap", true, "include link-flap events in the chaos mix")
 		crashSw   = flag.Bool("crash-switches", true, "include switch crash/restart events in the chaos mix")
 		ctrlCrash = flag.Bool("ctrl-crash", false, "crash the primary controller mid-chaos (attaches 2 replicas)")
+
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON flight-recorder dump to this file")
+		traceSample = flag.Uint64("trace-sample", 1, "packet-hop sampling: record flows where hash%N==0 (0 disables hop records)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	log.SetFlags(0)
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	writeMemProfile := func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+	}
+	defer writeMemProfile()
 
 	t, maxPorts, err := buildTopology(*kind, *k, *n)
 	if err != nil {
@@ -75,6 +120,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		tcfg := trace.DefaultConfig()
+		tcfg.SampleMod = *traceSample
+		rec = trace.NewRecorder(tcfg)
+		net.Eng.SetTracer(rec)
+	}
+	writeTrace := func() {
+		if rec == nil {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		defer f.Close()
+		if err := trace.WriteChrome(f, rec.Records()); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("trace: wrote %d records to %s (%d recorded, %d overwritten)\n",
+			rec.Len(), *traceOut, rec.Total(), rec.Overwritten())
+	}
+	defer writeTrace()
 	if *discover {
 		report, err := net.Discover(maxPorts)
 		if err != nil {
@@ -166,13 +234,18 @@ func main() {
 		for _, e := range rep.Trace {
 			fmt.Printf("  %v\n", e)
 		}
-		fmt.Print(rep.Drops.Counters().Table("fabric drop counters (non-zero)", true))
+		fmt.Print(net.Eng.Metrics().Snapshot(int64(net.Eng.Now())).Table("fabric metrics (non-zero)", true))
+		if s := rep.TimelineSummary(); s != "" {
+			fmt.Print(s)
+		}
 		if rep.Ok() {
 			fmt.Printf("chaos: all invariants held (%d ping retries during re-convergence)\n", rep.PingRetries)
 		} else {
 			for _, v := range rep.Violations {
 				fmt.Printf("chaos: INVARIANT VIOLATED — %v\n", v)
 			}
+			writeTrace()
+			writeMemProfile()
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,74 @@
+// Command dumbnet-trace summarizes a flight-recorder dump written by
+// dumbnet-emu -trace. The input is Chrome trace_event JSON (loadable in
+// Perfetto / chrome://tracing); this tool reads the lossless record payload
+// back out and renders the human-readable views:
+//
+//	dumbnet-trace out.json              # summary + recovery timelines
+//	dumbnet-trace -full out.json        # full chronological event timeline
+//	dumbnet-trace -recovery out.json    # recovery timelines only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dumbnet/internal/trace"
+)
+
+func main() {
+	var (
+		full     = flag.Bool("full", false, "print every record as a chronological timeline")
+		recovery = flag.Bool("recovery", false, "print only the reconstructed recovery timelines")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dumbnet-trace [-full|-recovery] <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := trace.ReadChrome(data)
+	if err != nil {
+		log.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+
+	if *full {
+		if err := trace.WriteTimeline(os.Stdout, recs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	timelines := trace.ExtractTimelines(recs)
+	if !*recovery {
+		byKind := map[trace.Kind]int{}
+		for i := range recs {
+			byKind[recs[i].Kind]++
+		}
+		fmt.Printf("%s: %d records\n", flag.Arg(0), len(recs))
+		for _, k := range []trace.Kind{trace.KindHop, trace.KindDrop, trace.KindCtrl, trace.KindRecovery, trace.KindScenario} {
+			if n := byKind[k]; n > 0 {
+				fmt.Printf("  %-9v %d\n", k, n)
+			}
+		}
+	}
+	if len(timelines) == 0 {
+		fmt.Println("no recovery timelines (no fail-link/crash-switch events in trace)")
+		return
+	}
+	complete := 0
+	for i := range timelines {
+		if timelines[i].Complete() {
+			complete++
+		}
+	}
+	fmt.Printf("recovery timelines: %d/%d complete\n", complete, len(timelines))
+	for i := range timelines {
+		fmt.Print(timelines[i].String())
+	}
+}

@@ -15,11 +15,13 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"dumbnet/internal/core"
 	"dumbnet/internal/fabric"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/trace"
 )
 
 // Config tunes a chaos scenario.
@@ -125,10 +127,37 @@ type Report struct {
 	PingRetries int
 	// Drops snapshots the fabric-wide loss counters after the run.
 	Drops fabric.DropCounters
+	// Timelines reconstructs one recovery story per injected fail-link /
+	// crash-switch event, extracted from the engine's flight recorder.
+	// Empty when the network runs without a tracer attached. Incomplete
+	// timelines are informational, not violations: a link that flaps inside
+	// the suppression window, or one healed before any host noticed,
+	// legitimately produces a partial story.
+	Timelines []trace.RecoveryTimeline
 }
 
 // Ok reports whether every invariant held.
 func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// TimelineSummary renders the recovery timelines as a human-readable block
+// ("" when no tracer was attached).
+func (r *Report) TimelineSummary() string {
+	if len(r.Timelines) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	complete := 0
+	for i := range r.Timelines {
+		if r.Timelines[i].Complete() {
+			complete++
+		}
+	}
+	fmt.Fprintf(&b, "recovery timelines: %d/%d complete\n", complete, len(r.Timelines))
+	for i := range r.Timelines {
+		b.WriteString(r.Timelines[i].String())
+	}
+	return b.String()
+}
 
 // TraceEqual compares two traces event-for-event (the determinism check).
 func TraceEqual(a, b []Event) bool {
@@ -231,11 +260,44 @@ func Run(n *core.Network, cfg Config) (*Report, error) {
 	n.RunFor(cfg.Settle)
 	r.check()
 	r.rep.Drops = n.Drops()
+	if tr := n.Eng.Tracer(); tr != nil {
+		r.rep.Timelines = trace.ExtractTimelines(tr.Records())
+	}
 	return r.rep, nil
+}
+
+// scenarioOpFor maps a trace-event kind string to its flight-recorder op.
+func scenarioOpFor(kind string) trace.ScenarioOp {
+	switch kind {
+	case "impair":
+		return trace.ScenarioImpair
+	case "fail-link":
+		return trace.ScenarioFailLink
+	case "heal-link":
+		return trace.ScenarioHealLink
+	case "flap-link":
+		return trace.ScenarioFlapLink
+	case "crash-switch":
+		return trace.ScenarioCrashSwitch
+	case "restart-switch":
+		return trace.ScenarioRestartSwitch
+	case "crash-ctrl":
+		return trace.ScenarioCrashCtrl
+	case "restart-ctrl":
+		return trace.ScenarioRestartCtrl
+	case "heal-all":
+		return trace.ScenarioHealAll
+	}
+	return trace.ScenarioIdle
 }
 
 func (r *runner) record(kind string, p pair, sw core.SwitchID) {
 	r.rep.Trace = append(r.rep.Trace, Event{At: r.n.Eng.Now(), Kind: kind, A: p.a, B: p.b, Sw: sw})
+	a, b := p.a, p.b
+	if kind == "crash-switch" || kind == "restart-switch" {
+		a, b = sw, 0
+	}
+	r.n.Eng.Tracer().Scenario(int64(r.n.Eng.Now()), scenarioOpFor(kind), a, b)
 }
 
 // viewConnected checks whether the fabric's switch graph stays connected

@@ -1,10 +1,13 @@
 package chaos
 
 import (
+	"bytes"
 	"testing"
 
 	"dumbnet/internal/core"
+	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/trace"
 )
 
 // buildNetwork stands up the acceptance fabric: a 3-spine 6-leaf
@@ -171,5 +174,119 @@ func TestChaosPartitionAvoidance(t *testing.T) {
 		if mirror = rebuild(); !mirror.Connected() {
 			t.Fatalf("trace partitions the fabric at %v", e)
 		}
+	}
+}
+
+// timelinePhases lists a timeline's set phases in a fixed order for
+// monotonicity checks: every later-stage phase must not precede an earlier
+// one on the virtual clock.
+func checkTimelineShape(t *testing.T, tl *trace.RecoveryTimeline, bound sim.Time) {
+	t.Helper()
+	if tl.Detect < tl.Start {
+		t.Errorf("%s: detect %d before injection %d", tl.Label(), tl.Detect, tl.Start)
+	}
+	if tl.Notify < tl.Detect {
+		t.Errorf("%s: notify %d before detect %d", tl.Label(), tl.Notify, tl.Detect)
+	}
+	if tl.Reroute < tl.Notify {
+		t.Errorf("%s: reroute %d before notify %d", tl.Label(), tl.Reroute, tl.Notify)
+	}
+	if tl.FirstPacket >= 0 && tl.FirstPacket < tl.Reroute {
+		t.Errorf("%s: first packet %d before reroute %d", tl.Label(), tl.FirstPacket, tl.Reroute)
+	}
+	if tl.CtrlEvent >= 0 && tl.CtrlEvent < tl.Detect {
+		t.Errorf("%s: controller heard at %d before any switch detected at %d", tl.Label(), tl.CtrlEvent, tl.Detect)
+	}
+	if tl.Patch >= 0 && tl.Patch < tl.CtrlEvent {
+		t.Errorf("%s: patch %d before ctrl-event %d", tl.Label(), tl.Patch, tl.CtrlEvent)
+	}
+	if d := sim.Time(tl.Duration()); d > bound {
+		t.Errorf("%s: recovery took %v, want <= %v", tl.Label(), d.Duration(), bound.Duration())
+	}
+}
+
+// TestChaosRecoveryTimelines runs a clean-link scenario (no loss, no flaps)
+// with a flight recorder attached and demands the full recovery story —
+// detect, notify, reroute, with monotone sim-times and bounded duration —
+// for at least one link failure AND at least one switch crash.
+func TestChaosRecoveryTimelines(t *testing.T) {
+	n := buildNetwork(t, 21, false)
+	rec := trace.NewRecorder(trace.DefaultConfig())
+	n.Eng.SetTracer(rec)
+	cfg := DefaultConfig(21)
+	cfg.Events = 16
+	cfg.Loss = 0
+	cfg.Corrupt = 0
+	cfg.Flap = false
+	cfg.CrashController = false
+	rep, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			t.Errorf("invariant violated: %v", v)
+		}
+	}
+	if len(rep.Timelines) == 0 {
+		t.Fatal("no recovery timelines extracted despite attached tracer")
+	}
+	// Recovery is local rerouting: it completes well inside the gap to the
+	// next injected event (MeanGap), let alone the stage-2 settle window.
+	const bound = 10 * sim.Millisecond
+	completeByOp := map[trace.ScenarioOp]int{}
+	for i := range rep.Timelines {
+		tl := &rep.Timelines[i]
+		if !tl.Complete() {
+			continue
+		}
+		completeByOp[tl.Scenario]++
+		checkTimelineShape(t, tl, bound)
+	}
+	if completeByOp[trace.ScenarioFailLink] == 0 {
+		t.Errorf("no complete fail-link recovery timeline (got %v)", completeByOp)
+	}
+	if completeByOp[trace.ScenarioCrashSwitch] == 0 {
+		t.Errorf("no complete crash-switch recovery timeline (got %v)", completeByOp)
+	}
+	if s := rep.TimelineSummary(); s == "" {
+		t.Error("TimelineSummary empty despite extracted timelines")
+	}
+}
+
+// TestChaosTraceExportDeterminism: the acceptance criterion behind
+// `dumbnet-emu -chaos -trace` — the same seed must yield a byte-identical
+// Chrome trace_event export, different seeds must diverge.
+func TestChaosTraceExportDeterminism(t *testing.T) {
+	export := func(seed int64) []byte {
+		n := buildNetwork(t, 7, true)
+		rec := trace.NewRecorder(trace.DefaultConfig())
+		n.Eng.SetTracer(rec)
+		cfg := DefaultConfig(seed)
+		cfg.Events = 16
+		if _, err := Run(n, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, rec.Records()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := export(11)
+	b := export(11)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different trace exports")
+	}
+	if bytes.Equal(a, export(12)) {
+		t.Fatal("different seeds produced identical trace exports")
+	}
+	// The export must round-trip losslessly back into records.
+	recs, err := trace.ReadChrome(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("round-tripped export is empty")
 	}
 }

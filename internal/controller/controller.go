@@ -19,6 +19,7 @@ import (
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/trace"
 )
 
 // Config tunes the controller.
@@ -257,6 +258,7 @@ func (c *Controller) handlePathRequest(req *packet.PathRequest) {
 		return
 	}
 	c.stats.PathRequests++
+	c.eng.Tracer().Ctrl(int64(c.eng.Now()), trace.CtrlGotRequest, c.MAC(), req.Src, req.Seq)
 	c.eng.After(c.cfg.RequestDelay, func() {
 		pg, err := c.buildPathGraph(req.Src, req.Dst)
 		if err != nil {
@@ -271,6 +273,7 @@ func (c *Controller) handlePathRequest(req *packet.PathRequest) {
 			return
 		}
 		c.stats.PathResponses++
+		c.eng.Tracer().Ctrl(int64(c.eng.Now()), trace.CtrlSentResponse, c.MAC(), req.Src, req.Seq)
 		_ = c.Agent.SendFrame(req.Src, tags, packet.EtherTypeControl, body)
 	})
 }
@@ -282,6 +285,7 @@ func (c *Controller) handleLinkEvent(ev *packet.LinkEvent) {
 		return
 	}
 	c.stats.LinkEventsIn++
+	c.eng.Tracer().Recovery(int64(c.eng.Now()), trace.RecoveryCtrlEvent, ev.Switch, ev.Port, ev.Up, c.MAC(), packet.MAC{})
 	if ev.Up {
 		c.stats.LinkUpsSeen++
 		c.handleLinkUp(ev)
@@ -348,6 +352,10 @@ func (c *Controller) applyPatchLocal(patch *topo.Patch) {
 		}
 	}
 	c.version++
+	if len(patch.Ops) > 0 {
+		op := patch.Ops[0]
+		c.eng.Tracer().Recovery(int64(c.eng.Now()), trace.RecoveryPatch, op.Switch, op.Port, op.Kind == topo.OpLinkUp, c.MAC(), packet.MAC{})
+	}
 	if c.OnTopologyChange != nil {
 		c.OnTopologyChange(c.version)
 	}

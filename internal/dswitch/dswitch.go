@@ -18,6 +18,7 @@ package dswitch
 import (
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
+	"dumbnet/internal/trace"
 )
 
 // Config tunes the (few) physical characteristics of a dumb switch.
@@ -184,6 +185,7 @@ func (s *Switch) Restart() {
 func (s *Switch) Receive(inPort int, frame []byte) {
 	if s.down {
 		s.stats.DropSwitchDown++
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropSwitchDown, frame)
 		return
 	}
 	if len(frame) >= packet.EthernetHeaderLen &&
@@ -194,6 +196,7 @@ func (s *Switch) Receive(inPort int, frame []byte) {
 	tag, err := packet.TopTag(frame)
 	if err != nil {
 		s.stats.DropBadFrame++
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropBadFrame, frame)
 		return
 	}
 	switch tag {
@@ -214,6 +217,7 @@ func (s *Switch) receiveMPLS(frame []byte) {
 	if err != nil || bottom {
 		// ø at a switch: a misrouted frame in the MPLS encoding.
 		s.stats.DropEndOfPath++
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropEndOfPath, frame)
 		return
 	}
 	if label == packet.TagIDQuery {
@@ -223,9 +227,12 @@ func (s *Switch) receiveMPLS(frame []byte) {
 	rest, tag, err := packet.PopLabelMPLS(frame)
 	if err != nil {
 		s.stats.DropBadFrame++
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropBadFrame, frame)
 		return
 	}
-	s.transmit(int(tag), rest, &s.stats.Forwarded)
+	if s.transmit(int(tag), rest, &s.stats.Forwarded) {
+		s.eng.Tracer().PacketHop(int64(s.eng.Now()), int64(s.cfg.ForwardDelay), s.id, tag, rest)
+	}
 }
 
 // handleIDQueryMPLS answers an ID query carried in the MPLS encoding.
@@ -266,21 +273,27 @@ func (s *Switch) forward(frame []byte) {
 	rest, tag, err := packet.PopTag(frame)
 	if err != nil {
 		s.stats.DropBadFrame++
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropBadFrame, frame)
 		return
 	}
-	s.transmit(int(tag), rest, &s.stats.Forwarded)
+	if s.transmit(int(tag), rest, &s.stats.Forwarded) {
+		s.eng.Tracer().PacketHop(int64(s.eng.Now()), int64(s.cfg.ForwardDelay), s.id, tag, rest)
+	}
 }
 
-// transmit sends a frame out a port, counting okCounter on success.
-func (s *Switch) transmit(port int, frame []byte, okCounter *uint64) {
+// transmit sends a frame out a port, counting okCounter on success; it
+// reports whether the frame went out.
+func (s *Switch) transmit(port int, frame []byte, okCounter *uint64) bool {
 	if port < 1 || port >= len(s.links) || s.links[port] == nil {
 		s.stats.DropNoPort++
-		return
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropNoPort, frame)
+		return false
 	}
 	l := s.links[port]
 	if !l.Up() {
 		s.stats.DropLinkDown++
-		return
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropLinkDown, frame)
+		return false
 	}
 	if okCounter != nil {
 		*okCounter++
@@ -290,6 +303,7 @@ func (s *Switch) transmit(port int, frame []byte, okCounter *uint64) {
 		s.stats.ECNMarked++
 	}
 	l.SendFromAfter(s, frame, s.cfg.ForwardDelay)
+	return true
 }
 
 // handleIDQuery implements the switch-CPU punt path: the tag stack after
@@ -350,11 +364,13 @@ func (s *Switch) handleEndOfPath(inPort int, frame []byte) {
 	var f packet.Frame
 	if err := packet.DecodeFrom(&f, frame); err != nil || f.InnerType != packet.EtherTypeControl {
 		s.stats.DropEndOfPath++
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropEndOfPath, frame)
 		return
 	}
 	t, msg, err := packet.DecodeControl(f.Payload)
 	if err != nil || t != packet.MsgLinkEvent {
 		s.stats.DropEndOfPath++
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropEndOfPath, frame)
 		return
 	}
 	ev := msg.(*packet.LinkEvent)
@@ -439,6 +455,7 @@ func (s *Switch) sendAlarm(port int, up bool) {
 	s.lastAlarmUp[port] = up
 	s.alarmSeq++
 	s.stats.AlarmsSent++
+	s.eng.Tracer().Recovery(int64(s.eng.Now()), trace.RecoveryDetect, s.id, packet.Tag(port), up, packet.MAC{}, packet.MAC{})
 	ev := &packet.LinkEvent{
 		Switch:   s.id,
 		Port:     packet.Tag(port),

@@ -6,7 +6,6 @@ package fabric
 
 import (
 	"dumbnet/internal/dswitch"
-	"dumbnet/internal/metrics"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
@@ -91,7 +90,50 @@ func Build(eng *sim.Engine, t *topo.Topology, cfg Config) (*Fabric, error) {
 			f.links[linkKey{a: id, ap: nb.Port}] = l
 		}
 	}
+	f.registerMetrics()
 	return f, nil
+}
+
+// registerMetrics binds the fabric's aggregate stats into the engine's
+// unified registry as lazy collectors: the hot paths keep bumping their
+// plain struct counters, and the registry evaluates these sums only at
+// snapshot time. Rebuilding a fabric on the same engine re-registers the
+// collectors against the new instance.
+func (f *Fabric) registerMetrics() {
+	reg := f.Eng.Metrics()
+	drop := func(name string, field func(*DropCounters) uint64) {
+		reg.CounterFunc("fabric/drops/"+name, func() uint64 {
+			d := f.Drops()
+			return field(&d)
+		})
+	}
+	drop("link-queue-overflow", func(d *DropCounters) uint64 { return d.LinkQueue })
+	drop("link-down-tx", func(d *DropCounters) uint64 { return d.LinkDownTx })
+	drop("impair-lost", func(d *DropCounters) uint64 { return d.ImpairLost })
+	drop("impair-corrupt", func(d *DropCounters) uint64 { return d.ImpairCorrupt })
+	drop("switch-no-port", func(d *DropCounters) uint64 { return d.SwNoPort })
+	drop("switch-link-down", func(d *DropCounters) uint64 { return d.SwLinkDown })
+	drop("switch-bad-frame", func(d *DropCounters) uint64 { return d.SwBadFrame })
+	drop("switch-end-of-path", func(d *DropCounters) uint64 { return d.SwEndOfPath })
+	drop("switch-down", func(d *DropCounters) uint64 { return d.SwSwitchDown })
+
+	sw := func(name string, field func(*dswitch.Stats) uint64) {
+		reg.CounterFunc("fabric/switch/"+name, func() uint64 {
+			var sum uint64
+			for _, s := range f.switches {
+				st := s.Stats()
+				sum += field(&st)
+			}
+			return sum
+		})
+	}
+	sw("forwarded", func(s *dswitch.Stats) uint64 { return s.Forwarded })
+	sw("id-replies", func(s *dswitch.Stats) uint64 { return s.IDReplies })
+	sw("floods-in", func(s *dswitch.Stats) uint64 { return s.FloodsIn })
+	sw("floods-out", func(s *dswitch.Stats) uint64 { return s.FloodsOut })
+	sw("ecn-marked", func(s *dswitch.Stats) uint64 { return s.ECNMarked })
+	sw("alarms-sent", func(s *dswitch.Stats) uint64 { return s.AlarmsSent })
+	sw("alarms-squelched", func(s *dswitch.Stats) uint64 { return s.AlarmsSquelch })
 }
 
 // Switch returns the live switch instance for an ID.
@@ -221,22 +263,6 @@ type DropCounters struct {
 	SwBadFrame    uint64
 	SwEndOfPath   uint64
 	SwSwitchDown  uint64
-}
-
-// Counters exports the drop classes as an ordered metrics.CounterSet so
-// experiment harnesses can aggregate and render them alongside other stats.
-func (d DropCounters) Counters() *metrics.CounterSet {
-	cs := metrics.NewCounterSet()
-	cs.Set("link-queue-overflow", d.LinkQueue)
-	cs.Set("link-down-tx", d.LinkDownTx)
-	cs.Set("impair-lost", d.ImpairLost)
-	cs.Set("impair-corrupt", d.ImpairCorrupt)
-	cs.Set("switch-no-port", d.SwNoPort)
-	cs.Set("switch-link-down", d.SwLinkDown)
-	cs.Set("switch-bad-frame", d.SwBadFrame)
-	cs.Set("switch-end-of-path", d.SwEndOfPath)
-	cs.Set("switch-down", d.SwSwitchDown)
-	return cs
 }
 
 // Total sums every drop class.

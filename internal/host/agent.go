@@ -15,6 +15,7 @@ import (
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/trace"
 )
 
 // Config tunes the agent.
@@ -429,6 +430,12 @@ func (a *Agent) routeForHops(dst packet.MAC, flow FlowKey) (packet.Path, []HopRe
 	idx := a.Chooser.Choose(a.eng.Now(), flow, len(entry.Paths))
 	if idx < 0 || idx >= len(entry.Paths) {
 		idx = 0
+	}
+	if entry.Rerouted {
+		// First packet routed through a recovery-repaired entry: close the
+		// recovery timeline.
+		entry.Rerouted = false
+		a.eng.Tracer().Recovery(int64(a.eng.Now()), trace.RecoveryFirstPacket, 0, 0, false, a.mac, dst)
 	}
 	return entry.Paths[idx].Tags, entry.Paths[idx].Hops, true
 }

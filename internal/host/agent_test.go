@@ -307,7 +307,10 @@ func TestPathTableDropLink(t *testing.T) {
 		},
 		Backup: &host.CachedPath{Tags: packet.Path{4, 2}, Hops: []host.HopRef{{Switch: 1, Port: 4}, {Switch: 4, Port: 2}}},
 	})
-	dead := pt.DropLink(1, 1)
+	dead, rerouted := pt.DropLink(1, 1)
+	if rerouted != 1 {
+		t.Fatalf("rerouted = %d, want 1", rerouted)
+	}
 	if len(dead) != 0 {
 		t.Fatalf("dead = %v", dead)
 	}
@@ -316,7 +319,10 @@ func TestPathTableDropLink(t *testing.T) {
 		t.Fatalf("paths = %+v", e.Paths)
 	}
 	// Kill the remaining path: backup promotes.
-	dead = pt.DropLink(1, 3)
+	dead, rerouted = pt.DropLink(1, 3)
+	if rerouted != 1 {
+		t.Fatalf("rerouted = %d, want 1 (backup promotion is a reroute)", rerouted)
+	}
 	if len(dead) != 0 {
 		t.Fatalf("dead = %v", dead)
 	}
@@ -325,7 +331,10 @@ func TestPathTableDropLink(t *testing.T) {
 		t.Fatalf("backup not promoted: %+v", e)
 	}
 	// Kill the backup too: entry dies.
-	dead = pt.DropLink(1, 4)
+	dead, rerouted = pt.DropLink(1, 4)
+	if rerouted != 0 {
+		t.Fatalf("rerouted = %d, want 0 (entry died)", rerouted)
+	}
 	if len(dead) != 1 || dead[0] != dst {
 		t.Fatalf("dead = %v", dead)
 	}

@@ -3,6 +3,7 @@ package host
 import (
 	"dumbnet/internal/packet"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/trace"
 )
 
 // Stage-1 failure handling on the host (paper §4.2): when a link event
@@ -50,17 +51,29 @@ func (a *Agent) applyLinkEvent(ev *packet.LinkEvent, flood bool) {
 		}
 	}
 
+	a.eng.Tracer().Recovery(int64(a.eng.Now()), trace.RecoveryNotify, ev.Switch, ev.Port, ev.Up, a.mac, packet.MAC{})
+
 	if !ev.Up {
 		// Patch the cache and fail over the PathTable immediately; an
 		// alternative path is likely already cached (§4.3).
 		a.cache.RemoveEdgeByPort(ev.Switch, ev.Port)
-		dead := a.table.DropLink(ev.Switch, ev.Port)
+		dead, rerouted := a.table.DropLink(ev.Switch, ev.Port)
 		for _, dst := range dead {
 			// Try detours from the cache; otherwise re-query lazily on
 			// the next send.
 			if a.fillTableFromCache(dst) {
 				a.stats.FailoverHits++
+				if e := a.table.Lookup(dst); e != nil {
+					e.Rerouted = true
+				}
+				rerouted++
 			}
+		}
+		if rerouted > 0 {
+			// One record per host per event, regardless of how many
+			// destinations moved: per-destination records would surface the
+			// PathTable's map iteration order and break trace determinism.
+			a.eng.Tracer().Recovery(int64(a.eng.Now()), trace.RecoveryReroute, ev.Switch, ev.Port, ev.Up, a.mac, packet.MAC{})
 		}
 	}
 	// Link-up events only matter to the controller, which re-probes and

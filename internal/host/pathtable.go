@@ -4,6 +4,7 @@ import (
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/trace"
 )
 
 // The two-level path cache (paper §5.2, Figure 4): the TopoCache aggregates
@@ -38,6 +39,10 @@ func (p *CachedPath) usesLink(sw packet.SwitchID, port packet.Tag) bool {
 type TableEntry struct {
 	Paths  []CachedPath // k shortest, index-addressed by the route chooser
 	Backup *CachedPath  // the failure-disjoint backup (§4.3)
+	// Rerouted marks an entry repaired by failure recovery; the next send
+	// through it clears the flag and closes the recovery timeline with a
+	// first-packet record.
+	Rerouted bool
 }
 
 // PathTable maps destination MAC to cached routes.
@@ -74,10 +79,13 @@ func (t *PathTable) Destinations() []packet.MAC {
 
 // DropLink removes every cached path crossing (sw, port), promoting the
 // backup when the primary set empties. It returns the destinations whose
-// entries became unusable (caller should recompute or re-query those).
-func (t *PathTable) DropLink(sw packet.SwitchID, port packet.Tag) []packet.MAC {
-	var dead []packet.MAC
+// entries became unusable (caller should recompute or re-query those) and
+// how many surviving entries it rerouted — entries that lost paths but
+// still have a usable route. Rerouted entries are flagged so the next send
+// through them records the recovery timeline's first-packet span.
+func (t *PathTable) DropLink(sw packet.SwitchID, port packet.Tag) (dead []packet.MAC, rerouted int) {
 	for dst, e := range t.entries {
+		before := len(e.Paths)
 		kept := e.Paths[:0]
 		for _, p := range e.Paths {
 			if !p.usesLink(sw, port) {
@@ -85,6 +93,7 @@ func (t *PathTable) DropLink(sw packet.SwitchID, port packet.Tag) []packet.MAC {
 			}
 		}
 		e.Paths = kept
+		changed := len(e.Paths) < before
 		if e.Backup != nil && e.Backup.usesLink(sw, port) {
 			e.Backup = nil
 		}
@@ -98,10 +107,15 @@ func (t *PathTable) DropLink(sw packet.SwitchID, port packet.Tag) []packet.MAC {
 			} else {
 				delete(t.entries, dst)
 				dead = append(dead, dst)
+				continue
 			}
 		}
+		if changed {
+			e.Rerouted = true
+			rerouted++
+		}
 	}
-	return dead
+	return dead, rerouted
 }
 
 // routesFromView computes up to k cached paths from the local view.
@@ -246,16 +260,20 @@ func (a *Agent) sendPathRequest(dst packet.MAC, attempt int) {
 		a.failoverController()
 	}
 	a.requestCtrl[dst] = a.ctrl
+	seq := a.nextSeq()
 	body, err := packet.EncodeControl(packet.MsgPathRequest, &packet.PathRequest{
-		Src: a.mac, Dst: dst, Seq: a.nextSeq(),
+		Src: a.mac, Dst: dst, Seq: seq,
 	})
 	if err != nil {
 		return
 	}
 	a.stats.PathQueries++
+	op := trace.CtrlPathRequest
 	if attempt > 0 {
 		a.stats.QueryRetries++
+		op = trace.CtrlPathRetry
 	}
+	a.eng.Tracer().Ctrl(int64(a.eng.Now()), op, a.mac, dst, seq)
 	_ = a.SendFrame(a.ctrl, a.ctrlPath, packet.EtherTypeControl, body)
 	a.eng.After(a.retryDelay(attempt), func() {
 		if a.requestOpen[dst] {
@@ -272,6 +290,7 @@ func (a *Agent) handlePathResponse(blob *packet.Blob) {
 		return
 	}
 	a.stats.PathResponses++
+	a.eng.Tracer().Ctrl(int64(a.eng.Now()), trace.CtrlPathResponse, a.mac, pg.Dst, blob.Seq)
 	a.cache.Merge(pg.Graph)
 	dst := pg.Dst
 	delete(a.requestOpen, dst)
@@ -296,6 +315,7 @@ func (a *Agent) handlePathResponse(blob *packet.Blob) {
 		return
 	}
 	a.table.Install(dst, entry)
+	a.eng.Tracer().Ctrl(int64(a.eng.Now()), trace.CtrlRouteInstall, a.mac, dst, blob.Seq)
 	// Flush pending packets.
 	queued := a.pending[dst]
 	delete(a.pending, dst)

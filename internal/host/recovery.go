@@ -3,6 +3,7 @@ package host
 import (
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
+	"dumbnet/internal/trace"
 )
 
 // Recovery hardening beyond the paper's stage-1/stage-2 story: controller
@@ -41,6 +42,7 @@ func (a *Agent) failoverController() {
 	a.ctrl = r.MAC
 	a.ctrlPath = r.Path.Clone()
 	a.stats.CtrlFailovers++
+	a.eng.Tracer().Ctrl(int64(a.eng.Now()), trace.CtrlFailover, a.mac, a.ctrl, 0)
 }
 
 // retryDelay computes the backoff before retry `attempt+1`: exponential from
@@ -109,6 +111,7 @@ func (a *Agent) noteSend(dst packet.MAC, tags packet.Path, hops []HopRef) {
 // controller in the background.
 func (a *Agent) onBlackhole(dst packet.MAC, s *bhState) {
 	a.stats.Blackholes++
+	a.eng.Tracer().Recovery(int64(a.eng.Now()), trace.RecoveryBlackhole, 0, 0, false, a.mac, dst)
 	expiry := a.eng.Now() + a.cfg.SuspectTTL
 	for _, h := range s.lastHops {
 		a.suspect[h] = expiry

@@ -28,8 +28,14 @@ func NewDist(values ...float64) *Dist {
 	return d
 }
 
-// Add appends observations.
+// Add appends observations. The values are copied: the distribution never
+// adopts the caller's backing array, because Min/Max/Percentile/CDF sort
+// d.values in place and must not reorder the caller's slice (the
+// NewDist(values...) path forwards the caller's slice here verbatim).
 func (d *Dist) Add(values ...float64) {
+	if d.values == nil && len(values) > 0 {
+		d.values = make([]float64, 0, len(values))
+	}
 	d.values = append(d.values, values...)
 	d.sorted = false
 }

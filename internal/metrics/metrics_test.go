@@ -277,44 +277,27 @@ func TestCDFValuesSortedProperty(t *testing.T) {
 	}
 }
 
-func TestCounterSet(t *testing.T) {
-	cs := NewCounterSet()
-	cs.Add("drops", 3)
-	cs.Add("drops", 2)
-	cs.Set("corrupt", 7)
-	cs.Add("zero", 0)
-	if got := cs.Get("drops"); got != 5 {
-		t.Fatalf("Get(drops) = %d, want 5", got)
+func TestDistDoesNotMutateCallerSlice(t *testing.T) {
+	orig := []float64{5, 1, 4, 2, 3}
+	backup := append([]float64(nil), orig...)
+	d := NewDist(orig...)
+	// Min/Max/Percentile sort the distribution's values in place; the
+	// caller's slice must stay untouched.
+	if d.Min() != 1 || d.Max() != 5 || d.Percentile(50) != 3 {
+		t.Fatalf("stats wrong: min=%v max=%v p50=%v", d.Min(), d.Max(), d.Percentile(50))
 	}
-	if got := cs.Total(); got != 12 {
-		t.Fatalf("Total = %d, want 12", got)
-	}
-	names := cs.Names()
-	want := []string{"drops", "corrupt", "zero"}
-	if len(names) != len(want) {
-		t.Fatalf("Names = %v", names)
-	}
-	for i := range want {
-		if names[i] != want[i] {
-			t.Fatalf("Names order = %v, want %v", names, want)
+	for i := range orig {
+		if orig[i] != backup[i] {
+			t.Fatalf("NewDist aliased the caller's slice: %v (want %v)", orig, backup)
 		}
 	}
-	other := NewCounterSet()
-	other.Add("corrupt", 1)
-	other.Add("late", 4)
-	cs.Merge(other)
-	if cs.Get("corrupt") != 8 || cs.Get("late") != 4 {
-		t.Fatalf("Merge failed: corrupt=%d late=%d", cs.Get("corrupt"), cs.Get("late"))
-	}
-	full := cs.Table("Drops", false)
-	if full.NumRows() != 4 {
-		t.Fatalf("full table rows = %d, want 4", full.NumRows())
-	}
-	nz := cs.Table("Drops", true)
-	if nz.NumRows() != 3 {
-		t.Fatalf("non-zero table rows = %d, want 3", nz.NumRows())
-	}
-	if out := cs.String(); !strings.Contains(out, "drops") || !strings.Contains(out, "8") {
-		t.Fatalf("String() = %q", out)
+	// Same guarantee for the Add path on a fresh distribution.
+	var d2 Dist
+	d2.Add(orig...)
+	_ = d2.Percentile(90)
+	for i := range orig {
+		if orig[i] != backup[i] {
+			t.Fatalf("Add aliased the caller's slice: %v (want %v)", orig, backup)
+		}
 	}
 }

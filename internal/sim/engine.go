@@ -9,6 +9,8 @@ package sim
 import (
 	"math/rand"
 	"time"
+
+	"dumbnet/internal/trace"
 )
 
 // Time is virtual time in nanoseconds since simulation start.
@@ -138,11 +140,13 @@ type Engine struct {
 	seq       uint64
 	rng       *rand.Rand
 	processed uint64
+	tracer    *trace.Recorder
+	metrics   *trace.Registry
 }
 
 // NewEngine creates an engine whose randomness is derived from seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), metrics: trace.NewRegistry()}
 }
 
 // Now returns the current virtual time.
@@ -150,6 +154,20 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetTracer attaches a flight recorder. Every component holds the engine,
+// so this single hook wires tracing through the whole model; nil (the
+// default) disables recording, and trace.Recorder methods are nil-safe so
+// call sites need no guards.
+func (e *Engine) SetTracer(t *trace.Recorder) { e.tracer = t }
+
+// Tracer returns the attached flight recorder (nil when tracing is off).
+func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
+
+// Metrics returns the engine's unified metrics registry. It always exists:
+// instruments are cheap, and components register their counters
+// unconditionally.
+func (e *Engine) Metrics() *trace.Registry { return e.metrics }
 
 // Processed reports how many events have executed.
 func (e *Engine) Processed() uint64 { return e.processed }

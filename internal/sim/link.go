@@ -1,6 +1,10 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+
+	"dumbnet/internal/trace"
+)
 
 // Node is anything that can receive frames from a link: a switch or a host
 // NIC. Receive runs at frame-delivery virtual time.
@@ -253,16 +257,19 @@ func (l *Link) SendFrom(from Node, frame []byte) {
 	}
 	if !l.up {
 		tx.stats.DownTx++
+		l.eng.tracer.PacketDrop(int64(l.eng.Now()), 0, trace.DropLinkDownTx, frame)
 		return
 	}
 	if l.imp.LossProb > 0 && l.eng.Rand().Float64() < l.imp.LossProb {
 		tx.stats.ImpairLost++
+		l.eng.tracer.PacketDrop(int64(l.eng.Now()), 0, trace.DropImpairLoss, frame)
 		return
 	}
 	if l.imp.CorruptProb > 0 && len(frame) > 0 && l.eng.Rand().Float64() < l.imp.CorruptProb {
 		i := l.eng.Rand().Intn(len(frame))
 		frame[i] ^= 1 << uint(l.eng.Rand().Intn(8))
 		tx.stats.ImpairCorrupt++
+		l.eng.tracer.PacketDrop(int64(l.eng.Now()), 0, trace.CorruptImpair, frame)
 	}
 	now := l.eng.Now()
 	start := tx.busyUntil
@@ -271,6 +278,7 @@ func (l *Link) SendFrom(from Node, frame []byte) {
 	}
 	if start-now > l.cfg.MaxBacklog {
 		tx.stats.Drops++
+		l.eng.tracer.PacketDrop(int64(now), 0, trace.DropQueueOverflow, frame)
 		return
 	}
 	var txTime Time

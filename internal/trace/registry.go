@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"dumbnet/internal/metrics"
+)
+
+// The unified metrics registry: ordered, named counters, gauges and
+// sim-time histograms, plus lazily-evaluated counter functions that bind
+// existing component stats (switch Stats structs, link LinkStats) into the
+// registry without forcing those hot paths through a map lookup. It absorbs
+// the role metrics.CounterSet used to play for fabric drop accounting.
+//
+// The registry is single-threaded like the simulator; instruments are
+// cheap value holders the caller caches a pointer to, so a hot path pays
+// one pointer deref + add per event and zero allocations.
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.v += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v float64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram aggregates sim-time durations (int64 nanoseconds) into
+// power-of-two buckets — coarse (±2×) but allocation-free and O(1), which
+// is the right trade for an always-on recorder. Negative observations are
+// clamped to zero.
+type Histogram struct {
+	buckets [histBuckets + 1]uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// ObserveSim records a sim.Time without the import (any int64 nanosecond
+// count).
+func (h *Histogram) ObserveSim(v int64) { h.Observe(v) }
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min reports the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean reports the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the top
+// edge of the bucket holding the q-th observation. Resolution is one
+// power of two.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			edge := int64(1) << uint(i)
+			if edge > h.max || edge < 0 {
+				return h.max
+			}
+			return edge
+		}
+	}
+	return h.max
+}
+
+// instrument binds one name to one kind of holder.
+type instrument struct {
+	name    string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() uint64
+}
+
+// Registry is an ordered collection of named instruments. Registration
+// order is preserved so snapshots and tables render deterministically.
+type Registry struct {
+	order []string
+	byKey map[string]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*instrument)}
+}
+
+// get returns the named instrument, creating an empty slot if absent.
+func (r *Registry) get(name string) *instrument {
+	if in, ok := r.byKey[name]; ok {
+		return in
+	}
+	in := &instrument{name: name}
+	r.byKey[name] = in
+	r.order = append(r.order, name)
+	return in
+}
+
+// Counter returns (creating if needed) the named counter. Panics if the
+// name is already registered as a different kind — that is a wiring bug.
+func (r *Registry) Counter(name string) *Counter {
+	in := r.get(name)
+	if in.counter == nil {
+		if in.gauge != nil || in.hist != nil || in.fn != nil {
+			panic(fmt.Sprintf("trace: %q already registered as a different instrument", name))
+		}
+		in.counter = &Counter{}
+	}
+	return in.counter
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	in := r.get(name)
+	if in.gauge == nil {
+		if in.counter != nil || in.hist != nil || in.fn != nil {
+			panic(fmt.Sprintf("trace: %q already registered as a different instrument", name))
+		}
+		in.gauge = &Gauge{}
+	}
+	return in.gauge
+}
+
+// Histogram returns (creating if needed) the named sim-time histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	in := r.get(name)
+	if in.hist == nil {
+		if in.counter != nil || in.gauge != nil || in.fn != nil {
+			panic(fmt.Sprintf("trace: %q already registered as a different instrument", name))
+		}
+		in.hist = &Histogram{}
+	}
+	return in.hist
+}
+
+// CounterFunc registers (or replaces) a lazily-evaluated counter: fn is
+// called at snapshot time. This is how existing per-component stats structs
+// join the registry without rerouting their hot paths.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	in := r.get(name)
+	if in.counter != nil || in.gauge != nil || in.hist != nil {
+		panic(fmt.Sprintf("trace: %q already registered as a different instrument", name))
+	}
+	in.fn = fn
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// SnapshotEntry is one instrument's value at snapshot time.
+type SnapshotEntry struct {
+	Name  string
+	Kind  string // "counter" | "gauge" | "histogram"
+	Value float64
+	Hist  *HistSnapshot // set for histograms
+}
+
+// HistSnapshot is a histogram's summary at snapshot time.
+type HistSnapshot struct {
+	Count          uint64
+	Min, Max       int64
+	Mean           float64
+	P50, P99       int64
+}
+
+// Snapshot is the registry's state at one sim time.
+type Snapshot struct {
+	At      int64 // virtual time, nanoseconds
+	Entries []SnapshotEntry
+}
+
+// Snapshot evaluates every instrument (including counter funcs) at sim
+// time `at`, in registration order.
+func (r *Registry) Snapshot(at int64) Snapshot {
+	s := Snapshot{At: at, Entries: make([]SnapshotEntry, 0, len(r.order))}
+	for _, name := range r.order {
+		in := r.byKey[name]
+		switch {
+		case in.counter != nil:
+			s.Entries = append(s.Entries, SnapshotEntry{Name: name, Kind: "counter", Value: float64(in.counter.Value())})
+		case in.fn != nil:
+			s.Entries = append(s.Entries, SnapshotEntry{Name: name, Kind: "counter", Value: float64(in.fn())})
+		case in.gauge != nil:
+			s.Entries = append(s.Entries, SnapshotEntry{Name: name, Kind: "gauge", Value: in.gauge.Value()})
+		case in.hist != nil:
+			h := in.hist
+			s.Entries = append(s.Entries, SnapshotEntry{Name: name, Kind: "histogram", Value: float64(h.Count()), Hist: &HistSnapshot{
+				Count: h.Count(), Min: h.Min(), Max: h.Max(), Mean: h.Mean(),
+				P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+			}})
+		}
+	}
+	return s
+}
+
+// Get returns the entry for name, or false.
+func (s Snapshot) Get(name string) (SnapshotEntry, bool) {
+	for _, e := range s.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return SnapshotEntry{}, false
+}
+
+// Table renders the snapshot as an aligned text table; zero-valued
+// counters are skipped when nonZeroOnly is set. Histograms render their
+// count/mean/p50/p99/max summary.
+func (s Snapshot) Table(title string, nonZeroOnly bool) *metrics.Table {
+	tbl := metrics.NewTable(title, "metric", "value")
+	for _, e := range s.Entries {
+		if e.Hist != nil {
+			if nonZeroOnly && e.Hist.Count == 0 {
+				continue
+			}
+			tbl.AddRow(e.Name, fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+				e.Hist.Count, time.Duration(int64(e.Hist.Mean)), time.Duration(e.Hist.P50),
+				time.Duration(e.Hist.P99), time.Duration(e.Hist.Max)))
+			continue
+		}
+		if nonZeroOnly && e.Value == 0 {
+			continue
+		}
+		tbl.AddRow(e.Name, metrics.FormatFloat(e.Value))
+	}
+	return tbl
+}

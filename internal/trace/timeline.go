@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Recovery-timeline extraction: given the flight-recorder records of a run,
+// reconstruct — per injected fault — the paper's §4.2 recovery story as a
+// sequence of phase timestamps:
+//
+//	fault injected → detect (switch port alarm) → notify (first host applies
+//	the event) → ctrl-event (controller sees it) → reroute (first host
+//	repairs its PathTable) → patch (stage-2 topology patch committed) →
+//	first-packet (first frame sent on a repaired path)
+//
+// Timelines anchor on chaos scenario records (fail-link / crash-switch)
+// when present; without a chaos driver, each detect record that is not
+// already inside a window opens its own timeline. A timeline's window
+// extends to the next anchor, so phases are attributed to the fault that
+// caused them.
+
+// noPhase marks an absent phase timestamp.
+const noPhase = int64(-1)
+
+// RecoveryTimeline is one fault's reconstructed recovery.
+type RecoveryTimeline struct {
+	// Scenario is the injected fault (ScenarioFailLink, ScenarioCrashSwitch,
+	// or 0 when the timeline was anchored on a bare detect record).
+	Scenario ScenarioOp
+	// A, B are the fault's link endpoints (B zero for a switch crash).
+	A, B uint32
+	// Start is the anchor sim-time in nanoseconds (fault injection, or the
+	// first detect when anchored without a scenario record).
+	Start int64
+	// Phase timestamps in nanoseconds; -1 when the phase never happened
+	// inside this timeline's window.
+	Detect, Notify, CtrlEvent, Reroute, Patch, FirstPacket int64
+}
+
+// Complete reports whether the host-visible recovery story is whole:
+// detect, notify and reroute all present (first-packet confirms the new
+// path carried traffic but requires the workload to send one, so it is
+// reported, not required).
+func (t *RecoveryTimeline) Complete() bool {
+	return t.Detect >= 0 && t.Notify >= 0 && t.Reroute >= 0
+}
+
+// End returns the latest phase timestamp (Start if no phase happened).
+func (t *RecoveryTimeline) End() int64 {
+	end := t.Start
+	for _, at := range []int64{t.Detect, t.Notify, t.CtrlEvent, t.Reroute, t.Patch, t.FirstPacket} {
+		if at > end {
+			end = at
+		}
+	}
+	return end
+}
+
+// Duration is the span from fault injection to the last observed phase.
+func (t *RecoveryTimeline) Duration() int64 { return t.End() - t.Start }
+
+// Label names the fault.
+func (t *RecoveryTimeline) Label() string {
+	switch t.Scenario {
+	case ScenarioFailLink:
+		return fmt.Sprintf("fail-link sw%d—sw%d", t.A, t.B)
+	case ScenarioCrashSwitch:
+		return fmt.Sprintf("crash-switch sw%d", t.A)
+	case 0:
+		return fmt.Sprintf("link-event sw%d", t.A)
+	}
+	return fmt.Sprintf("%s sw%d sw%d", t.Scenario, t.A, t.B)
+}
+
+// String renders the timeline as one human-readable block.
+func (t *RecoveryTimeline) String() string {
+	var b strings.Builder
+	status := "INCOMPLETE"
+	if t.Complete() {
+		status = "complete"
+	}
+	fmt.Fprintf(&b, "%s at %s: recovery %s in %v\n",
+		t.Label(), strings.TrimSpace(simTime(t.Start)), status, time.Duration(t.Duration()))
+	phase := func(name string, at int64) {
+		if at < 0 {
+			fmt.Fprintf(&b, "  %-12s —\n", name)
+			return
+		}
+		fmt.Fprintf(&b, "  %-12s %s  (+%v)\n", name, strings.TrimSpace(simTime(at)), time.Duration(at-t.Start))
+	}
+	phase("detect", t.Detect)
+	phase("notify", t.Notify)
+	phase("ctrl-event", t.CtrlEvent)
+	phase("reroute", t.Reroute)
+	phase("patch", t.Patch)
+	phase("first-packet", t.FirstPacket)
+	return b.String()
+}
+
+// isAnchor reports whether rec opens a new timeline window.
+func isAnchor(rec *Record) bool {
+	return rec.Kind == KindScenario &&
+		(ScenarioOp(rec.Op) == ScenarioFailLink || ScenarioOp(rec.Op) == ScenarioCrashSwitch)
+}
+
+// detectMatches reports whether a detect record belongs to timeline t. For
+// a link failure the alarms originate at the link's own endpoints; for a
+// switch crash they originate at the (unknowable here) neighbors, so any
+// detect in the window matches.
+func detectMatches(t *RecoveryTimeline, rec *Record) bool {
+	if t.Scenario != ScenarioFailLink {
+		return true
+	}
+	return uint32(rec.Sw) == t.A || uint32(rec.Sw) == t.B
+}
+
+// ExtractTimelines reconstructs one RecoveryTimeline per injected fault
+// from chronological flight-recorder records. Records must be in the order
+// Records() returns them (oldest first).
+func ExtractTimelines(recs []Record) []RecoveryTimeline {
+	var out []RecoveryTimeline
+	newTimeline := func(rec *Record) RecoveryTimeline {
+		t := RecoveryTimeline{
+			A: uint32(rec.Sw), B: uint32(rec.Sw2), Start: rec.At,
+			Detect: noPhase, Notify: noPhase, CtrlEvent: noPhase,
+			Reroute: noPhase, Patch: noPhase, FirstPacket: noPhase,
+		}
+		if rec.Kind == KindScenario {
+			t.Scenario = ScenarioOp(rec.Op)
+		} else {
+			// Anchored on a bare detect: the detect is both start and phase.
+			t.Detect = rec.At
+		}
+		return t
+	}
+	var cur *RecoveryTimeline
+	haveAnchors := false
+	for i := range recs {
+		if isAnchor(&recs[i]) {
+			haveAnchors = true
+			break
+		}
+	}
+	for i := range recs {
+		rec := &recs[i]
+		if isAnchor(rec) {
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			t := newTimeline(rec)
+			cur = &t
+			continue
+		}
+		if rec.Kind != KindRecovery {
+			continue
+		}
+		op := RecoveryOp(rec.Op)
+		if op == RecoveryDetect && rec.Up {
+			continue // port-up alarms (heals) are not failure detections
+		}
+		if cur == nil {
+			if haveAnchors || op != RecoveryDetect {
+				continue // pre-fault noise, or detect-phases belong to anchors
+			}
+			t := newTimeline(rec)
+			cur = &t
+			continue
+		}
+		switch op {
+		case RecoveryDetect:
+			if cur.Detect < 0 && detectMatches(cur, rec) {
+				cur.Detect = rec.At
+			}
+		case RecoveryNotify:
+			if cur.Notify < 0 {
+				cur.Notify = rec.At
+			}
+		case RecoveryCtrlEvent:
+			if cur.CtrlEvent < 0 {
+				cur.CtrlEvent = rec.At
+			}
+		case RecoveryReroute:
+			if cur.Reroute < 0 {
+				cur.Reroute = rec.At
+			}
+		case RecoveryPatch:
+			if cur.Patch < 0 {
+				cur.Patch = rec.At
+			}
+		case RecoveryFirstPacket:
+			if cur.FirstPacket < 0 && cur.Reroute >= 0 {
+				cur.FirstPacket = rec.At
+			}
+		}
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	return out
+}
