@@ -7,10 +7,13 @@ import (
 	"runtime"
 	"testing"
 
+	"dumbnet/internal/controller"
 	"dumbnet/internal/dswitch"
 	"dumbnet/internal/experiments"
+	"dumbnet/internal/host"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
 	"dumbnet/internal/trace"
 )
 
@@ -172,6 +175,70 @@ func microBenches() []struct {
 				rec.PacketHop(int64(i), 100, 1, 2, buf)
 			}
 		}},
+		// The path-request trio quantifies the route-service cache: a cold
+		// lookup pays the full dense-kernel compute + marshal, a warm hit is
+		// a map probe returning cached wire bytes (0 allocs), and post-patch
+		// pays compute plus the dense-graph rebuild the mutation forced.
+		{"PathRequestCold", func(b *testing.B) {
+			svc, _, src, dst := benchRouteService(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc.Invalidate()
+				if _, err := svc.LookupWire(src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"PathRequestWarm", func(b *testing.B) {
+			svc, _, src, dst := benchRouteService(b)
+			if _, err := svc.LookupWire(src, dst); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.LookupWire(src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"PathRequestPostPatch", func(b *testing.B) {
+			svc, tp, src, dst := benchRouteService(b)
+			sw := tp.Hosts()[2].Switch
+			nb := tp.Neighbors(sw)[0]
+			far, err := tp.PortToward(nb.Sw, sw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tp.Disconnect(sw, nb.Port); err != nil {
+					b.Fatal(err)
+				}
+				if err := tp.Connect(sw, nb.Port, nb.Sw, far); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := svc.LookupWire(src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"KShortestPathsK8", func(b *testing.B) {
+			tp, err := topo.FatTree(6, 1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hosts := tp.Hosts()
+			s, d := hosts[0].Switch, hosts[len(hosts)-1].Switch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := topo.KShortestPaths(tp, s, d, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		// The Fig 9/10 benches record cost only. Their shape checks include
 		// wall-clock-sensitive comparisons that get noisy over hundreds of
 		// sustained bench iterations, so misses are warned, not fatal; claim
@@ -200,6 +267,21 @@ func microBenches() []struct {
 			}
 		}},
 	}
+}
+
+// benchRouteService builds a standalone controller over a k=8 fat-tree
+// master view (80 switches, 64 hosts) and hands back its route service plus
+// a sample host pair — no fabric attached, route-service state only.
+func benchRouteService(b *testing.B) (*controller.RouteService, *topo.Topology, packet.MAC, packet.MAC) {
+	tp, err := topo.FatTree(8, 2, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	hosts := tp.Hosts()
+	c := controller.New(eng, host.New(eng, hosts[0].Host, host.DefaultConfig()), controller.DefaultConfig())
+	c.SetMaster(tp)
+	return c.Routes(), tp, hosts[1].Host, hosts[len(hosts)-1].Host
 }
 
 // benchSwitchForward measures one switch hop end to end — host link in,

@@ -178,6 +178,10 @@ type runner struct {
 	n   *core.Network
 	cfg Config
 	rng *rand.Rand
+	// auditRng drives the mid-run route-cache audits. It is separate from
+	// rng so auditing does not shift the event stream: the same Seed
+	// produces the same scenario trace with or without audits enabled.
+	auditRng *rand.Rand
 
 	links     []pair // all switch-to-switch links, deterministic order
 	down      map[pair]bool
@@ -204,6 +208,7 @@ func Run(n *core.Network, cfg Config) (*Report, error) {
 		n:         n,
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		auditRng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 		down:      make(map[pair]bool),
 		flap:      make(map[pair]bool),
 		crashed:   make(map[core.SwitchID]bool),
@@ -254,6 +259,7 @@ func Run(n *core.Network, cfg Config) (*Report, error) {
 		r.background()
 		gap := r.cfg.MeanGap/2 + sim.Time(r.rng.Int63n(int64(r.cfg.MeanGap)))
 		n.RunFor(gap)
+		r.auditRouteCache()
 	}
 
 	r.healAll()

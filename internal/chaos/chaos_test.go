@@ -125,6 +125,60 @@ func TestChaosWithoutReplication(t *testing.T) {
 	}
 }
 
+// TestRouteCacheInvalidationUnderChaos is the cache-coherence scenario from
+// the issue: a k=4 fat-tree with a warmed path-graph cache, the seeded fault
+// driver churning links and switches on top of it. The mid-run audits plus
+// the post-heal route-cache sweep must find no answer traversing a dead
+// link, and the counters must show the cache was genuinely exercised —
+// warm-up filled it, patches invalidated entries, and repeated lookups hit.
+func TestRouteCacheInvalidationUnderChaos(t *testing.T) {
+	tp, err := topo.FatTree(4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.Seed = 99
+	n, err := core.New(tp, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if warmed := n.WarmRoutes(4); warmed == 0 {
+		t.Fatal("sharded warm-up computed no entries")
+	}
+	n.WarmAll()
+
+	cfg := DefaultConfig(99)
+	cfg.Events = 20
+	cfg.CrashController = false
+	rep, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			t.Errorf("invariant violated: %v", v)
+		}
+	}
+	kinds := map[string]int{}
+	for _, e := range rep.Trace {
+		kinds[e.Kind]++
+	}
+	if kinds["fail-link"] == 0 {
+		t.Fatalf("scenario injected no link failures (trace: %v)", kinds)
+	}
+
+	snap := n.Eng.Metrics().Snapshot(int64(n.Eng.Now()))
+	for _, name := range []string{"ctrl.route.hit", "ctrl.route.miss", "ctrl.route.invalidated", "ctrl.route.warmed"} {
+		e, ok := snap.Get(name)
+		if !ok || e.Value == 0 {
+			t.Errorf("%s = %v, want > 0 — cache not exercised", name, e.Value)
+		}
+	}
+}
+
 // TestChaosRejectsCtrlCrashWithoutReplicas: crashing the only controller
 // is a misconfiguration, not a scenario.
 func TestChaosRejectsCtrlCrashWithoutReplicas(t *testing.T) {

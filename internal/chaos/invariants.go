@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 
+	"dumbnet/internal/controller"
 	"dumbnet/internal/core"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
@@ -24,6 +25,7 @@ func (r *runner) check() {
 	r.checkConnectivity()
 	r.checkNoLoops()
 	r.checkConvergence()
+	r.checkRouteService()
 }
 
 func (r *runner) violate(inv, format string, args ...any) {
@@ -118,6 +120,16 @@ func walkPath(t *topo.Topology, src core.MAC, tags packet.Path, dst core.MAC) er
 	return fmt.Errorf("unreachable")
 }
 
+// activeCtrl returns the controller whose route service is authoritative:
+// the consensus leader when replicated (nil during elections), the sole
+// controller otherwise.
+func (r *runner) activeCtrl() *controller.Controller {
+	if g := r.n.Group(); g != nil {
+		return g.Primary()
+	}
+	return r.n.Ctrl
+}
+
 // masterView picks the authoritative master: the consensus leader's when
 // replicated, the sole controller's otherwise.
 func (r *runner) masterView() *topo.Topology {
@@ -127,6 +139,78 @@ func (r *runner) masterView() *topo.Topology {
 		}
 	}
 	return r.n.Ctrl.Master()
+}
+
+// auditRouteCache is the mid-chaos half of the route-cache invariant: while
+// faults are still being injected, sample a host pair and assert the route
+// service never answers with a path over a link that is gone from the
+// controller's current view — generation-based invalidation must keep
+// cached path graphs exactly as fresh as the master. Transient "no path"
+// errors are legitimate mid-chaos; stale hops are not.
+func (r *runner) auditRouteCache() {
+	ctrl := r.activeCtrl()
+	if ctrl == nil || ctrl.Down() || ctrl.Master() == nil {
+		return
+	}
+	hosts := r.allHosts()
+	if len(hosts) < 2 {
+		return
+	}
+	src := hosts[r.auditRng.Intn(len(hosts))]
+	dst := hosts[r.auditRng.Intn(len(hosts))]
+	if src == dst {
+		return
+	}
+	pg, err := ctrl.Routes().Lookup(src, dst)
+	if err != nil {
+		return
+	}
+	r.assertPathInView(ctrl.Master(), "mid-chaos", src, dst, pg)
+}
+
+// assertPathInView verifies every consecutive hop of the answer's primary
+// and backup paths is a live link in v.
+func (r *runner) assertPathInView(v *topo.Topology, when string, src, dst core.MAC, pg *topo.PathGraph) {
+	check := func(name string, p topo.SwitchPath) {
+		for i := 0; i+1 < len(p); i++ {
+			if _, err := v.PortToward(p[i], p[i+1]); err != nil {
+				r.violate("route-cache", "%s: %v -> %v %s hop %d->%d not in view",
+					when, src, dst, name, p[i], p[i+1])
+			}
+		}
+	}
+	check("primary", pg.Primary)
+	check("backup", pg.Backup)
+}
+
+// checkRouteService is the post-heal half of the route-cache invariant:
+// with the fabric whole again, every pair must get a valid path graph whose
+// primary and backup walk only links that physically exist. A stale cached
+// route surviving the chaos phase fails here.
+func (r *runner) checkRouteService() {
+	ctrl := r.activeCtrl()
+	if ctrl == nil || ctrl.Down() {
+		r.violate("route-cache", "no live controller after heal")
+		return
+	}
+	hosts := r.allHosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			pg, err := ctrl.Routes().Lookup(src, dst)
+			if err != nil {
+				r.violate("route-cache", "%v -> %v: no path graph after heal: %v", src, dst, err)
+				continue
+			}
+			if err := pg.Validate(); err != nil {
+				r.violate("route-cache", "%v -> %v: %v", src, dst, err)
+				continue
+			}
+			r.assertPathInView(r.n.Topo, "post-heal", src, dst, pg)
+		}
+	}
 }
 
 func (r *runner) checkConvergence() {

@@ -96,6 +96,13 @@ type Controller struct {
 	// virt, when set, restricts path answers per tenant (§6.1).
 	virt Virtualizer
 
+	// routes is the cached path-graph service behind handlePathRequest.
+	routes *RouteService
+	// pathWaiters coalesces concurrent path requests per host pair: the
+	// first request schedules the compute, later arrivals within the
+	// processing window just queue their sequence numbers.
+	pathWaiters map[pairKey][]uint64
+
 	// down marks a crashed controller process: the embedded agent (the
 	// host) stays alive, but every controller duty is ignored until
 	// Restart. The backing consensus node crashes with it.
@@ -119,12 +126,14 @@ var (
 // New creates a controller owning the given agent.
 func New(eng *sim.Engine, agent *host.Agent, cfg Config) *Controller {
 	c := &Controller{
-		Agent:     agent,
-		eng:       eng,
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(int64(agent.MAC()[5]) + 7)),
-		graveyard: make(map[host.HopRef]removedLink),
+		Agent:       agent,
+		eng:         eng,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(int64(agent.MAC()[5]) + 7)),
+		graveyard:   make(map[host.HopRef]removedLink),
+		pathWaiters: make(map[pairKey][]uint64),
 	}
+	c.routes = newRouteService(c)
 	agent.OnControl = c.onControl
 	return c
 }
@@ -237,45 +246,67 @@ type Virtualizer interface {
 // SetVirtualization installs a tenant policy on the path service.
 func (c *Controller) SetVirtualization(v Virtualizer) { c.virt = v }
 
-// buildPathGraph applies the tenant policy, falling back to the global
-// view for untenanted hosts.
-func (c *Controller) buildPathGraph(src, dst packet.MAC) (*topo.PathGraph, error) {
+// pathGraphWire returns the serialized path-graph answer for (src, dst).
+// Tenant requests bypass the cache (their slice-restricted graphs come from
+// the virtualizer); everything else is served by the route service.
+func (c *Controller) pathGraphWire(src, dst packet.MAC) ([]byte, error) {
 	if c.virt != nil {
 		if tenant, ok := c.virt.TenantOf(src); ok {
 			pg, err := c.virt.PathGraphFor(tenant, src, dst)
 			if err != nil {
 				c.stats.PathRefused++
+				return nil, err
 			}
-			return pg, err
+			return pg.Marshal(), nil
 		}
 	}
-	return topo.BuildPathGraph(c.master, src, dst, c.cfg.PathGraph, c.rng)
+	return c.routes.LookupWire(src, dst)
 }
 
-// handlePathRequest answers with a path graph over the master view.
+// handlePathRequest queues a path request for the route service. Concurrent
+// requests for the same (src, dst) pair arriving within the processing
+// window coalesce onto one compute and one response batch.
 func (c *Controller) handlePathRequest(req *packet.PathRequest) {
 	if c.master == nil {
 		return
 	}
 	c.stats.PathRequests++
 	c.eng.Tracer().Ctrl(int64(c.eng.Now()), trace.CtrlGotRequest, c.MAC(), req.Src, req.Seq)
-	c.eng.After(c.cfg.RequestDelay, func() {
-		pg, err := c.buildPathGraph(req.Src, req.Dst)
-		if err != nil {
-			return
-		}
-		body, err := packet.EncodeControl(packet.MsgPathResponse, &packet.Blob{Seq: req.Seq, Body: pg.Marshal()})
-		if err != nil {
-			return
-		}
-		tags, err := c.master.HostPath(c.MAC(), req.Src, c.rng)
+	key := pairKey{src: req.Src, dst: req.Dst}
+	if seqs, open := c.pathWaiters[key]; open {
+		c.pathWaiters[key] = append(seqs, req.Seq)
+		c.routes.coalesced.Inc()
+		return
+	}
+	c.pathWaiters[key] = []uint64{req.Seq}
+	c.eng.After(c.cfg.RequestDelay, func() { c.answerPathRequests(key) })
+}
+
+// answerPathRequests serves every request coalesced under key: one path
+// graph, one reply per queued sequence number.
+func (c *Controller) answerPathRequests(key pairKey) {
+	seqs := c.pathWaiters[key]
+	delete(c.pathWaiters, key)
+	if len(seqs) == 0 || c.master == nil {
+		return
+	}
+	wire, err := c.pathGraphWire(key.src, key.dst)
+	if err != nil {
+		return
+	}
+	tags, err := c.master.HostPath(c.MAC(), key.src, c.rng)
+	if err != nil {
+		return
+	}
+	for _, seq := range seqs {
+		body, err := packet.EncodeControl(packet.MsgPathResponse, &packet.Blob{Seq: seq, Body: wire})
 		if err != nil {
 			return
 		}
 		c.stats.PathResponses++
-		c.eng.Tracer().Ctrl(int64(c.eng.Now()), trace.CtrlSentResponse, c.MAC(), req.Src, req.Seq)
-		_ = c.Agent.SendFrame(req.Src, tags, packet.EtherTypeControl, body)
-	})
+		c.eng.Tracer().Ctrl(int64(c.eng.Now()), trace.CtrlSentResponse, c.MAC(), key.src, seq)
+		_ = c.Agent.SendFrame(key.src, tags, packet.EtherTypeControl, body)
+	}
 }
 
 // handleLinkEvent is stage 2 (§4.2): update the master topology, replicate,

@@ -421,3 +421,13 @@ func (n *Network) WarmAll() {
 	}
 	n.Run()
 }
+
+// WarmRoutes precomputes the controller's path-graph cache for every host
+// pair across a worker pool, so the first wave of path requests after
+// discovery hits warm entries. Returns the number of entries computed.
+func (n *Network) WarmRoutes(workers int) int {
+	if n.Ctrl == nil {
+		return 0
+	}
+	return n.Ctrl.WarmPathCache(workers)
+}

@@ -184,6 +184,8 @@ type Agent struct {
 	pending      map[packet.MAC][]pendingPacket
 	requestOpen  map[packet.MAC]bool
 	requestCtrl  map[packet.MAC]packet.MAC // which controller each open query targets
+	reqStart     map[packet.MAC]sim.Time   // open path queries -> first-send time
+	reqLat       *trace.Histogram          // query-to-route-install latency (sim ns)
 	seenEvents   map[eventKey]bool
 	eventOrder   []eventKey // FIFO eviction order for seenEvents
 	eventHead    int
@@ -271,6 +273,8 @@ func New(eng *sim.Engine, mac packet.MAC, cfg Config) *Agent {
 		pending:     make(map[packet.MAC][]pendingPacket),
 		requestOpen: make(map[packet.MAC]bool),
 		requestCtrl: make(map[packet.MAC]packet.MAC),
+		reqStart:    make(map[packet.MAC]sim.Time),
+		reqLat:      eng.Metrics().Histogram("host.pathreq.latency"),
 		seenEvents:  make(map[eventKey]bool),
 		lastEcho:    make(map[packet.MAC]sim.Time),
 		bh:          make(map[packet.MAC]*bhState),

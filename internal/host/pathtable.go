@@ -235,6 +235,7 @@ func (a *Agent) requestPath(dst packet.MAC) {
 		return
 	}
 	a.requestOpen[dst] = true
+	a.reqStart[dst] = a.eng.Now()
 	a.sendPathRequest(dst, 0)
 }
 
@@ -249,6 +250,7 @@ func (a *Agent) sendPathRequest(dst packet.MAC, attempt int) {
 	if attempt >= budget*(1+len(a.ctrlList)) {
 		delete(a.requestOpen, dst)
 		delete(a.requestCtrl, dst)
+		delete(a.reqStart, dst)
 		a.stats.NoRouteDrops += uint64(len(a.pending[dst]))
 		delete(a.pending, dst)
 		a.stats.QueriesAbandoned++
@@ -295,6 +297,12 @@ func (a *Agent) handlePathResponse(blob *packet.Blob) {
 	dst := pg.Dst
 	delete(a.requestOpen, dst)
 	delete(a.requestCtrl, dst)
+	if t0, ok := a.reqStart[dst]; ok {
+		// Query-to-answer latency as the host saw it: cache-hit answers
+		// shorten this directly, warm-up makes it near-constant.
+		a.reqLat.Observe(int64(a.eng.Now() - t0))
+		delete(a.reqStart, dst)
+	}
 
 	entry := &TableEntry{}
 	if paths, err := routesFromView(a.cache, a.mac, dst, a.cfg.KPaths); err == nil {

@@ -1,0 +1,283 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dense, index-compressed routing kernels. The map-based walks in route.go
+// allocate fresh map[SwitchID]int state per call; at controller scale
+// (thousands of path requests against a mostly-static fabric) that garbage
+// dominates. A DenseGraph maps switch IDs to contiguous ints once per
+// topology generation and lays the adjacency out in CSR form, so BFS and
+// Dijkstra run over reusable slice-backed scratch buffers with zero
+// steady-state allocations (guarded by AllocsPerRun tests, like PR 2 did
+// for the dataplane).
+
+// DenseGraph is an immutable, index-compressed CSR snapshot of a topology's
+// switch graph. Node indices are the rank of each switch ID in ascending
+// order; per-node edge order equals Topology.Neighbors order (local port
+// order), which keeps equal-cost tie-breaking — including the rng draw
+// sequence — identical to the map-based kernels.
+type DenseGraph struct {
+	gen   uint64
+	ids   []SwitchID         // node index -> switch ID, ascending
+	index map[SwitchID]int32 // switch ID -> node index
+	start []int32            // CSR row offsets, len(ids)+1
+	nbr   []int32            // edge target node index
+	port  []Port             // local out-port per edge, parallel to nbr
+}
+
+// NewDenseGraph snapshots a topology's switch graph. Prefer Topology.Dense,
+// which caches one snapshot per topology generation.
+func NewDenseGraph(t *Topology) *DenseGraph {
+	ids := t.SwitchIDs()
+	g := &DenseGraph{
+		gen:   t.Generation(),
+		ids:   ids,
+		index: make(map[SwitchID]int32, len(ids)),
+		start: make([]int32, len(ids)+1),
+	}
+	for i, id := range ids {
+		g.index[id] = int32(i)
+	}
+	for i, id := range ids {
+		g.start[i+1] = g.start[i] + int32(len(t.Neighbors(id)))
+	}
+	g.nbr = make([]int32, g.start[len(ids)])
+	g.port = make([]Port, g.start[len(ids)])
+	e := 0
+	for _, id := range ids {
+		for _, nb := range t.Neighbors(id) {
+			g.nbr[e] = g.index[nb.Sw]
+			g.port[e] = nb.Port
+			e++
+		}
+	}
+	return g
+}
+
+// NumNodes reports the number of switches in the snapshot.
+func (g *DenseGraph) NumNodes() int { return len(g.ids) }
+
+// Generation reports the topology generation the snapshot was built from.
+func (g *DenseGraph) Generation() uint64 { return g.gen }
+
+// IndexOf maps a switch ID to its dense node index.
+func (g *DenseGraph) IndexOf(id SwitchID) (int32, bool) {
+	i, ok := g.index[id]
+	return i, ok
+}
+
+// IDOf maps a dense node index back to its switch ID.
+func (g *DenseGraph) IDOf(i int32) SwitchID { return g.ids[i] }
+
+// reversePort returns from's lowest-numbered port toward to (the same
+// lowest-port-wins answer Topology.PortToward gives).
+func (g *DenseGraph) reversePort(from, to int32) (Port, bool) {
+	for e := g.start[from]; e < g.start[from+1]; e++ {
+		if g.nbr[e] == to {
+			return g.port[e], true
+		}
+	}
+	return 0, false
+}
+
+// Bitset is a reusable visited-set over dense node indices — the scratch
+// replacement for the per-call map[SwitchID]bool sets the routing walks
+// used to allocate.
+type Bitset struct {
+	words []uint64
+}
+
+// Reset clears the set and ensures capacity for n bits.
+func (b *Bitset) Reset(n int) {
+	w := (n + 63) / 64
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+		return
+	}
+	b.words = b.words[:w]
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Set marks index i.
+func (b *Bitset) Set(i int32) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Has reports whether index i is marked.
+func (b *Bitset) Has(i int32) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// DenseScratch holds the reusable buffers the dense kernels run over. One
+// scratch serves one goroutine at a time; the zero value is ready to use and
+// grows to the largest graph it has seen.
+type DenseScratch struct {
+	dist   []int32 // BFS hop counts (-1 = unreached)
+	queue  []int32 // BFS visit order / work queue
+	distB  []int32 // second BFS front (detour windows)
+	queueB []int32
+	wdist  []float64 // Dijkstra tentative distances
+	prev   []int32   // Dijkstra predecessors
+	done   Bitset    // Dijkstra visited set
+	nodes  Bitset    // path-graph node set under construction
+	path   []int32   // primary path buffer
+	pathB  []int32   // backup path buffer
+	cand   []int32   // equal-cost candidate set
+}
+
+// NewDenseScratch returns an empty scratch; buffers grow on first use.
+func NewDenseScratch() *DenseScratch { return &DenseScratch{} }
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// bfsInto runs BFS from src, filling dist with hop counts (-1 unreached) and
+// returning the visit-order queue (which doubles as the reached-node list).
+// maxDepth < 0 means unbounded; otherwise nodes at depth maxDepth are
+// recorded but not expanded, matching boundedDistances in pathgraph.go.
+func (g *DenseGraph) bfsInto(dist, queue []int32, src, maxDepth int32) ([]int32, []int32) {
+	n := len(g.ids)
+	dist = growI32(dist, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if cap(queue) < n {
+		queue = make([]int32, 0, n)
+	}
+	queue = queue[:0]
+	dist[src] = 0
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if maxDepth >= 0 && dist[cur] >= maxDepth {
+			continue
+		}
+		for e := g.start[cur]; e < g.start[cur+1]; e++ {
+			if nb := g.nbr[e]; dist[nb] < 0 {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist, queue
+}
+
+// BFSInto computes hop counts from src into sc.dist and returns it; the
+// slice is owned by sc and overwritten by the next kernel call.
+func (g *DenseGraph) BFSInto(sc *DenseScratch, src int32) []int32 {
+	sc.dist, sc.queue = g.bfsInto(sc.dist, sc.queue, src, -1)
+	return sc.dist
+}
+
+// ShortestPathInto appends one shortest path from src to dst (as dense node
+// indices) to buf[:0] and returns it. Tie-breaking matches ShortestPath
+// exactly: BFS from dst then a downhill walk collecting candidates in local
+// port order; the first candidate wins with a nil rng, a uniform draw
+// otherwise — so a shared rng seed yields the identical path.
+func (g *DenseGraph) ShortestPathInto(sc *DenseScratch, src, dst int32, rng *rand.Rand, buf []int32) ([]int32, error) {
+	buf = buf[:0]
+	if src == dst {
+		return append(buf, src), nil
+	}
+	sc.dist, sc.queue = g.bfsInto(sc.dist, sc.queue, dst, -1)
+	if sc.dist[src] < 0 {
+		return nil, ErrNoPath
+	}
+	buf = append(buf, src)
+	for cur := src; cur != dst; {
+		want := sc.dist[cur] - 1
+		sc.cand = sc.cand[:0]
+		for e := g.start[cur]; e < g.start[cur+1]; e++ {
+			if nb := g.nbr[e]; sc.dist[nb] == want {
+				sc.cand = append(sc.cand, nb)
+			}
+		}
+		if len(sc.cand) == 0 {
+			return nil, ErrNoPath
+		}
+		next := sc.cand[0]
+		if rng != nil && len(sc.cand) > 1 {
+			next = sc.cand[rng.Intn(len(sc.cand))]
+		}
+		buf = append(buf, next)
+		cur = next
+	}
+	return buf, nil
+}
+
+// WeightedShortestPathInto runs Dijkstra from src to dst with per-edge
+// weights from cost (values <= 0 count as 1), appending the path to buf[:0].
+// Selection order — smallest distance, then smallest node index — reproduces
+// WeightedShortestPath's smallest-ID tie-break, and relaxation uses strict
+// improvement, so both implementations return the same path.
+func (g *DenseGraph) WeightedShortestPathInto(sc *DenseScratch, src, dst int32, cost func(a, b int32) float64, buf []int32) ([]int32, error) {
+	n := len(g.ids)
+	sc.wdist = growF64(sc.wdist, n)
+	sc.prev = growI32(sc.prev, n)
+	for i := range sc.wdist {
+		sc.wdist[i] = math.Inf(1)
+		sc.prev[i] = -1
+	}
+	sc.done.Reset(n)
+	sc.wdist[src] = 0
+	for {
+		best := int32(-1)
+		bd := math.Inf(1)
+		for i := int32(0); i < int32(n); i++ {
+			if sc.done.Has(i) || math.IsInf(sc.wdist[i], 1) {
+				continue
+			}
+			if best < 0 || sc.wdist[i] < bd {
+				best, bd = i, sc.wdist[i]
+			}
+		}
+		if best < 0 {
+			return nil, ErrNoPath
+		}
+		if best == dst {
+			break
+		}
+		sc.done.Set(best)
+		for e := g.start[best]; e < g.start[best+1]; e++ {
+			nb := g.nbr[e]
+			if sc.done.Has(nb) {
+				continue
+			}
+			w := cost(best, nb)
+			if w <= 0 {
+				w = 1
+			}
+			if nd := bd + w; nd < sc.wdist[nb] {
+				sc.wdist[nb] = nd
+				sc.prev[nb] = best
+			}
+		}
+	}
+	buf = buf[:0]
+	for cur := dst; ; {
+		buf = append(buf, cur)
+		if cur == src {
+			break
+		}
+		cur = sc.prev[cur]
+		if cur < 0 {
+			return nil, ErrNoPath
+		}
+	}
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf, nil
+}

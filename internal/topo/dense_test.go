@@ -1,0 +1,264 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// denseTestTopos builds a few structurally different fabrics the dense
+// kernels are checked against their map-based counterparts on.
+func denseTestTopos(t *testing.T) map[string]*Topology {
+	t.Helper()
+	out := make(map[string]*Topology)
+	ft, err := FatTree(4, 1, 0)
+	if err != nil {
+		t.Fatalf("fat-tree: %v", err)
+	}
+	out["fat-tree"] = ft
+	ls, err := LeafSpine(3, 6, 2, 0)
+	if err != nil {
+		t.Fatalf("leaf-spine: %v", err)
+	}
+	out["leaf-spine"] = ls
+	rr, err := RandomRegular(24, 4, 2, 0, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("random-regular: %v", err)
+	}
+	out["random-regular"] = rr
+	return out
+}
+
+func idxPathToIDs(g *DenseGraph, p []int32) SwitchPath {
+	out := make(SwitchPath, len(p))
+	for i, idx := range p {
+		out[i] = g.IDOf(idx)
+	}
+	return out
+}
+
+// TestDenseKernelsMatchMapKernels asserts the dense BFS/shortest-path/
+// Dijkstra kernels return bit-identical answers to the map-based ones in
+// route.go — including the rng draw sequence on equal-cost ties.
+func TestDenseKernelsMatchMapKernels(t *testing.T) {
+	for name, tp := range denseTestTopos(t) {
+		g := tp.Dense()
+		sc := NewDenseScratch()
+		ids := tp.SwitchIDs()
+		for _, src := range ids {
+			si, ok := g.IndexOf(src)
+			if !ok {
+				t.Fatalf("%s: switch %d missing from dense index", name, src)
+			}
+			// BFS distances.
+			want := Distances(tp, src)
+			dist := g.BFSInto(sc, si)
+			for i, d := range dist {
+				wd, ok := want[g.IDOf(int32(i))]
+				if !ok {
+					wd = -1
+				}
+				if int(d) != wd {
+					t.Fatalf("%s: dist %d->%d: dense %d, map %d", name, src, g.IDOf(int32(i)), d, wd)
+				}
+			}
+			for _, dst := range ids {
+				di, _ := g.IndexOf(dst)
+				// Deterministic shortest path.
+				wantP, wantErr := ShortestPath(tp, src, dst, nil)
+				gotIdx, gotErr := g.ShortestPathInto(sc, si, di, nil, nil)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s: %d->%d err mismatch: map %v, dense %v", name, src, dst, wantErr, gotErr)
+				}
+				if wantErr == nil && !wantP.Equal(idxPathToIDs(g, gotIdx)) {
+					t.Fatalf("%s: %d->%d path mismatch: map %v, dense %v", name, src, dst, wantP, idxPathToIDs(g, gotIdx))
+				}
+				// Randomized shortest path: identical seeds must draw the
+				// identical path.
+				r1 := rand.New(rand.NewSource(int64(src)*1000 + int64(dst)))
+				r2 := rand.New(rand.NewSource(int64(src)*1000 + int64(dst)))
+				wantP, wantErr = ShortestPath(tp, src, dst, r1)
+				gotIdx, gotErr = g.ShortestPathInto(sc, si, di, r2, nil)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s: %d->%d rng err mismatch", name, src, dst)
+				}
+				if wantErr == nil && !wantP.Equal(idxPathToIDs(g, gotIdx)) {
+					t.Fatalf("%s: %d->%d rng path mismatch: map %v, dense %v", name, src, dst, wantP, idxPathToIDs(g, gotIdx))
+				}
+			}
+		}
+		// Weighted paths with some links penalized, as backup computation does.
+		for trial := 0; trial < 20; trial++ {
+			r := rand.New(rand.NewSource(int64(trial)))
+			src := ids[r.Intn(len(ids))]
+			dst := ids[r.Intn(len(ids))]
+			penal := [2]SwitchID{ids[r.Intn(len(ids))], ids[r.Intn(len(ids))]}
+			wantP, wantErr := WeightedShortestPath(tp, src, dst, func(a, b SwitchID) float64 {
+				if (a == penal[0] && b == penal[1]) || (a == penal[1] && b == penal[0]) {
+					return 10
+				}
+				return 1
+			})
+			si, _ := g.IndexOf(src)
+			di, _ := g.IndexOf(dst)
+			pi0, _ := g.IndexOf(penal[0])
+			pi1, _ := g.IndexOf(penal[1])
+			gotIdx, gotErr := g.WeightedShortestPathInto(sc, si, di, func(a, b int32) float64 {
+				if (a == pi0 && b == pi1) || (a == pi1 && b == pi0) {
+					return 10
+				}
+				return 1
+			}, nil)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s: weighted %d->%d err mismatch: map %v, dense %v", name, src, dst, wantErr, gotErr)
+			}
+			if wantErr == nil && !wantP.Equal(idxPathToIDs(g, gotIdx)) {
+				t.Fatalf("%s: weighted %d->%d mismatch: map %v, dense %v", name, src, dst, wantP, idxPathToIDs(g, gotIdx))
+			}
+		}
+	}
+}
+
+// TestDenseKernelsAllocFree pins the tentpole property: with a warm scratch,
+// the BFS, shortest-path and Dijkstra kernels allocate nothing.
+func TestDenseKernelsAllocFree(t *testing.T) {
+	tp, err := FatTree(4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tp.Dense()
+	sc := NewDenseScratch()
+	hosts := tp.Hosts()
+	si, _ := g.IndexOf(hosts[0].Switch)
+	di, _ := g.IndexOf(hosts[len(hosts)-1].Switch)
+	unit := func(a, b int32) float64 { return 1 }
+	warm := func() {
+		g.BFSInto(sc, si)
+		var err error
+		sc.path, err = g.ShortestPathInto(sc, si, di, nil, sc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.pathB, err = g.WeightedShortestPathInto(sc, si, di, unit, sc.pathB)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	if n := testing.AllocsPerRun(200, warm); n != 0 {
+		t.Fatalf("dense kernels allocate %v allocs/op with warm scratch, want 0", n)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	var b Bitset
+	b.Reset(130)
+	for _, i := range []int32{0, 63, 64, 129} {
+		if b.Has(i) {
+			t.Fatalf("bit %d set after reset", i)
+		}
+		b.Set(i)
+		if !b.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Has(1) || b.Has(65) {
+		t.Fatal("unset bits reported set")
+	}
+	b.Reset(130)
+	if b.Has(0) || b.Has(129) {
+		t.Fatal("reset did not clear bits")
+	}
+}
+
+// TestTopologyGeneration pins the invalidation contract the route service
+// relies on: every mutation bumps the generation and drops the cached dense
+// snapshot; reads do not.
+func TestTopologyGeneration(t *testing.T) {
+	tp := New()
+	g0 := tp.Generation()
+	if err := tp.AddSwitch(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSwitch(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Generation() == g0 {
+		t.Fatal("AddSwitch did not bump generation")
+	}
+	if err := tp.Connect(1, 1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	gc := tp.Generation()
+	d1 := tp.Dense()
+	if tp.Dense() != d1 {
+		t.Fatal("Dense not cached across reads")
+	}
+	if tp.Generation() != gc {
+		t.Fatal("reads bumped generation")
+	}
+	if err := tp.Disconnect(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Generation() == gc {
+		t.Fatal("Disconnect did not bump generation")
+	}
+	if tp.Dense() == d1 {
+		t.Fatal("Dense snapshot not invalidated by mutation")
+	}
+	if err := tp.AttachHost(MAC{1}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g1 := tp.Generation()
+	if err := tp.DetachHost(MAC{1}); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Generation() == g1 {
+		t.Fatal("DetachHost did not bump generation")
+	}
+}
+
+// TestBuildPathGraphScratchMatchesBuild asserts that scratch reuse does not
+// change Algorithm 1's output.
+func TestBuildPathGraphScratchMatchesBuild(t *testing.T) {
+	tp, err := FatTree(4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := tp.Hosts()
+	sc := NewDenseScratch()
+	for i := 0; i < len(hosts); i++ {
+		for j := 0; j < len(hosts); j++ {
+			if i == j {
+				continue
+			}
+			seed := int64(i*100 + j)
+			a, aErr := BuildPathGraph(tp, hosts[i].Host, hosts[j].Host, PathGraphOptions{}, rand.New(rand.NewSource(seed)))
+			b, bErr := BuildPathGraphScratch(tp, hosts[i].Host, hosts[j].Host, PathGraphOptions{}, rand.New(rand.NewSource(seed)), sc)
+			if aErr != nil || bErr != nil {
+				t.Fatalf("build errors: %v, %v", aErr, bErr)
+			}
+			am := a.Marshal()
+			bm := b.Marshal()
+			if string(am) != string(bm) {
+				t.Fatalf("pair %d->%d: scratch build differs from fresh build", i, j)
+			}
+		}
+	}
+}
+
+// BenchmarkKShortestPathsK8 exercises the Yen's duplicate filter at k=8,
+// where the former O(k²·n) containsPath scans dominated.
+func BenchmarkKShortestPathsK8(b *testing.B) {
+	tp, err := FatTree(6, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := tp.Hosts()
+	src, dst := hosts[0].Switch, hosts[len(hosts)-1].Switch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := KShortestPaths(tp, src, dst, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -70,6 +70,34 @@ type Topology struct {
 	// (port) order; rebuilt lazily after mutation.
 	neighbors map[SwitchID][]Neighbor
 	dirty     bool
+	// gen counts mutations; it is the invalidation token for everything
+	// derived from this topology (the dense snapshot below, the
+	// controller's path-graph cache).
+	gen   uint64
+	dense *DenseGraph
+}
+
+// mutated invalidates every cache derived from the topology.
+func (t *Topology) mutated() {
+	t.dirty = true
+	t.gen++
+	t.dense = nil
+}
+
+// Generation returns the mutation counter. Any change to switches, links or
+// host attachments bumps it, so equal generations on the same Topology value
+// guarantee an identical graph.
+func (t *Topology) Generation() uint64 { return t.gen }
+
+// Dense returns the index-compressed CSR snapshot of the switch graph for
+// the current generation, rebuilding it lazily after mutations. The snapshot
+// is immutable; it may be shared across goroutines as long as nobody mutates
+// the topology concurrently.
+func (t *Topology) Dense() *DenseGraph {
+	if t.dense == nil || t.dense.gen != t.gen {
+		t.dense = NewDenseGraph(t)
+	}
+	return t.dense
 }
 
 // Errors reported by topology operations.
@@ -107,7 +135,7 @@ func (t *Topology) AddSwitch(id SwitchID, ports int) error {
 		return ErrDupSwitch
 	}
 	t.switches[id] = &Switch{ID: id, Ports: ports, wired: make(map[Port]Endpoint)}
-	t.dirty = true
+	t.mutated()
 	return nil
 }
 
@@ -205,7 +233,7 @@ func (t *Topology) Connect(a SwitchID, pa Port, b SwitchID, pb Port) error {
 	}
 	swa.wired[pa] = Endpoint{Kind: EndpointSwitch, Switch: b, Port: pb}
 	swb.wired[pb] = Endpoint{Kind: EndpointSwitch, Switch: a, Port: pa}
-	t.dirty = true
+	t.mutated()
 	return nil
 }
 
@@ -223,7 +251,7 @@ func (t *Topology) AttachHost(h MAC, id SwitchID, p Port) error {
 	}
 	sw.wired[p] = Endpoint{Kind: EndpointHost, Host: h}
 	t.hosts[h] = HostAttach{Host: h, Switch: id, Port: p}
-	t.dirty = true
+	t.mutated()
 	return nil
 }
 
@@ -235,7 +263,7 @@ func (t *Topology) DetachHost(h MAC) error {
 	}
 	delete(t.switches[at.Switch].wired, at.Port)
 	delete(t.hosts, h)
-	t.dirty = true
+	t.mutated()
 	return nil
 }
 
@@ -256,7 +284,7 @@ func (t *Topology) Disconnect(id SwitchID, p Port) error {
 		delete(t.hosts, ep.Host)
 	}
 	delete(sw.wired, p)
-	t.dirty = true
+	t.mutated()
 	return nil
 }
 
@@ -280,7 +308,7 @@ func (t *Topology) RemoveSwitch(id SwitchID) error {
 		}
 	}
 	delete(t.switches, id)
-	t.dirty = true
+	t.mutated()
 	return nil
 }
 
@@ -399,29 +427,31 @@ func (t *Topology) Equal(o *Topology) bool {
 	return true
 }
 
-// Connected reports whether every switch can reach every other switch.
+// Connected reports whether every switch can reach every other switch. The
+// walk runs over the dense snapshot with a visited bitmap instead of a
+// per-call map[SwitchID]bool.
 func (t *Topology) Connected() bool {
 	if len(t.switches) == 0 {
 		return true
 	}
-	var start SwitchID
-	for id := range t.switches {
-		start = id
-		break
-	}
-	seen := map[SwitchID]bool{start: true}
-	queue := []SwitchID{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range t.Neighbors(cur) {
-			if !seen[nb.Sw] {
-				seen[nb.Sw] = true
-				queue = append(queue, nb.Sw)
+	g := t.Dense()
+	n := len(g.ids)
+	var seen Bitset
+	seen.Reset(n)
+	queue := make([]int32, 1, n)
+	seen.Set(0)
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for e := g.start[cur]; e < g.start[cur+1]; e++ {
+			if nb := g.nbr[e]; !seen.Has(nb) {
+				seen.Set(nb)
+				reached++
+				queue = append(queue, nb)
 			}
 		}
 	}
-	return len(seen) == len(t.switches)
+	return reached == n
 }
 
 // Validate checks structural invariants: all wiring is symmetric and host

@@ -50,6 +50,13 @@ type PathGraph struct {
 // BuildPathGraph runs Algorithm 1 on the full topology for the host pair
 // (src, dst). rng (optional) randomizes equal-cost primary choices.
 func BuildPathGraph(t *Topology, src, dst MAC, opts PathGraphOptions, rng *rand.Rand) (*PathGraph, error) {
+	return BuildPathGraphScratch(t, src, dst, opts, rng, NewDenseScratch())
+}
+
+// BuildPathGraphScratch is BuildPathGraph over caller-owned scratch buffers.
+// The controller's route service holds one scratch per shard, so the BFS and
+// Dijkstra state behind every cache miss is reused instead of reallocated.
+func BuildPathGraphScratch(t *Topology, src, dst MAC, opts PathGraphOptions, rng *rand.Rand, sc *DenseScratch) (*PathGraph, error) {
 	opts = opts.withDefaults()
 	sat, err := t.HostAt(src)
 	if err != nil {
@@ -59,66 +66,93 @@ func BuildPathGraph(t *Topology, src, dst MAC, opts PathGraphOptions, rng *rand.
 	if err != nil {
 		return nil, err
 	}
-	primary, err := ShortestPath(t, sat.Switch, dat.Switch, rng)
+	g := t.Dense()
+	si, ok := g.IndexOf(sat.Switch)
+	if !ok {
+		return nil, ErrNoSwitch
+	}
+	di, ok := g.IndexOf(dat.Switch)
+	if !ok {
+		return nil, ErrNoSwitch
+	}
+	sc.path, err = g.ShortestPathInto(sc, si, di, rng, sc.path)
 	if err != nil {
 		return nil, err
 	}
+	primary := make(SwitchPath, len(sc.path))
+	for i, idx := range sc.path {
+		primary[i] = g.ids[idx]
+	}
 
 	// Backup: re-run shortest path with primary links penalized, so it
-	// shares as few links as possible (unless unavoidable).
-	onPrimary := map[[2]SwitchID]bool{}
-	for i := 0; i+1 < len(primary); i++ {
-		onPrimary[[2]SwitchID{primary[i], primary[i+1]}] = true
-		onPrimary[[2]SwitchID{primary[i+1], primary[i]}] = true
-	}
-	backup, err := WeightedShortestPath(t, sat.Switch, dat.Switch, func(a, b SwitchID) float64 {
-		if onPrimary[[2]SwitchID{a, b}] {
-			return opts.BackupPenalty
-		}
-		return 1
-	})
-	if err != nil {
-		// A backup is best-effort: single-homed segments may have none.
-		backup = nil
-	}
-
-	nodes := detourNodes(t, primary, opts)
-	for _, sw := range backup {
-		nodes[sw] = true
-	}
-
-	// Induce the subgraph on the node set.
-	g := NewSubgraph()
-	for sw := range nodes {
-		for _, nb := range t.Neighbors(sw) {
-			if nodes[nb.Sw] {
-				rp, err := t.PortToward(nb.Sw, sw)
-				if err != nil {
-					return nil, err
-				}
-				g.AddEdge(sw, nb.Port, nb.Sw, rp)
+	// shares as few links as possible (unless unavoidable). The primary is
+	// short, so a linear membership scan beats building an edge set.
+	cost := func(a, b int32) float64 {
+		p := sc.path
+		for i := 0; i+1 < len(p); i++ {
+			if (p[i] == a && p[i+1] == b) || (p[i] == b && p[i+1] == a) {
+				return opts.BackupPenalty
 			}
 		}
+		return 1
 	}
-	g.AddHost(sat)
-	g.AddHost(dat)
-	return &PathGraph{Src: src, Dst: dst, Primary: primary, Backup: backup, Graph: g}, nil
+	var backup SwitchPath
+	sc.pathB, err = g.WeightedShortestPathInto(sc, si, di, cost, sc.pathB)
+	if err == nil {
+		backup = make(SwitchPath, len(sc.pathB))
+		for i, idx := range sc.pathB {
+			backup[i] = g.ids[idx]
+		}
+	}
+	// else: a backup is best-effort; single-homed segments may have none.
+
+	nodes := detourNodesDense(g, sc, opts)
+	if backup != nil {
+		for _, idx := range sc.pathB {
+			nodes.Set(idx)
+		}
+	}
+
+	// Induce the subgraph on the node set, in ascending node order.
+	sub := NewSubgraph()
+	for i := int32(0); i < int32(len(g.ids)); i++ {
+		if !nodes.Has(i) {
+			continue
+		}
+		for e := g.start[i]; e < g.start[i+1]; e++ {
+			nb := g.nbr[e]
+			if !nodes.Has(nb) {
+				continue
+			}
+			rp, ok := g.reversePort(nb, i)
+			if !ok {
+				return nil, ErrNoLink
+			}
+			sub.AddEdge(g.ids[i], g.port[e], g.ids[nb], rp)
+		}
+	}
+	sub.AddHost(sat)
+	sub.AddHost(dat)
+	return &PathGraph{Src: src, Dst: dst, Primary: primary, Backup: backup, Graph: sub}, nil
 }
 
-// detourNodes implements the loop body of Algorithm 1: for every s-hop
-// window [a=p_i, b=p_{i+s}] of the primary path, add all switches x with
-// dist(a,x)+dist(x,b) <= s+ε, advancing i by s/2 (at least 1).
-func detourNodes(t *Topology, primary SwitchPath, opts PathGraphOptions) map[SwitchID]bool {
-	nodes := make(map[SwitchID]bool, len(primary)*4)
-	for _, sw := range primary {
-		nodes[sw] = true
+// detourNodesDense implements the loop body of Algorithm 1: for every s-hop
+// window [a=p_i, b=p_{i+s}] of the primary path (held in sc.path as dense
+// indices), mark all switches x with dist(a,x)+dist(x,b) <= s+ε in sc.nodes,
+// advancing i by s/2 (at least 1). The two BFS fronts per window run over
+// scratch buffers, and the node set is a bitmap instead of a map.
+func detourNodesDense(g *DenseGraph, sc *DenseScratch, opts PathGraphOptions) *Bitset {
+	sc.nodes.Reset(len(g.ids))
+	primary := sc.path
+	for _, idx := range primary {
+		sc.nodes.Set(idx)
 	}
 	l := len(primary)
 	step := opts.S / 2
 	if step < 1 {
 		step = 1
 	}
-	bound := opts.S + opts.Epsilon
+	bound := int32(opts.S + opts.Epsilon)
 	for i := 0; i < l-1; i += step {
 		aIdx := i
 		bIdx := i + opts.S
@@ -126,38 +160,30 @@ func detourNodes(t *Topology, primary SwitchPath, opts PathGraphOptions) map[Swi
 			bIdx = l - 1
 		}
 		a, b := primary[aIdx], primary[bIdx]
-		da := boundedDistances(t, a, bound)
-		db := boundedDistances(t, b, bound)
-		for x, dxa := range da {
-			if dxb, ok := db[x]; ok && dxa+dxb <= bound {
-				nodes[x] = true
+		sc.dist, sc.queue = g.bfsInto(sc.dist, sc.queue, a, bound)
+		sc.distB, sc.queueB = g.bfsInto(sc.distB, sc.queueB, b, bound)
+		for _, x := range sc.queue {
+			if sc.distB[x] >= 0 && sc.dist[x]+sc.distB[x] <= bound {
+				sc.nodes.Set(x)
 			}
 		}
 		if bIdx == l-1 && i+step >= l-1 {
 			break
 		}
 	}
-	return nodes
+	return &sc.nodes
 }
 
-// boundedDistances is BFS truncated at maxDepth hops.
-func boundedDistances(v View, src SwitchID, maxDepth int) map[SwitchID]int {
-	dist := map[SwitchID]int{src: 0}
-	queue := []SwitchID{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if dist[cur] >= maxDepth {
-			continue
-		}
-		for _, nb := range v.Neighbors(cur) {
-			if _, ok := dist[nb.Sw]; !ok {
-				dist[nb.Sw] = dist[cur] + 1
-				queue = append(queue, nb.Sw)
-			}
-		}
+// Clone deep-copies the path graph, so callers may mutate the result without
+// aliasing a cached instance.
+func (pg *PathGraph) Clone() *PathGraph {
+	return &PathGraph{
+		Src:     pg.Src,
+		Dst:     pg.Dst,
+		Primary: pg.Primary.Clone(),
+		Backup:  pg.Backup.Clone(),
+		Graph:   pg.Graph.Clone(),
 	}
-	return dist
 }
 
 // Validate checks internal consistency: primary and backup lie inside the

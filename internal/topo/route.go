@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -168,6 +169,10 @@ func KShortestPaths(v View, src, dst SwitchID, k int) ([]SwitchPath, error) {
 	if k <= 1 {
 		return paths, nil
 	}
+	// seen holds the encoding of every accepted path and queued candidate,
+	// replacing the O(k²·n) containsPath scans the duplicate filter used to
+	// do per spur path.
+	seen := map[string]bool{pathKey(first): true}
 	var candidates []SwitchPath
 	for len(paths) < k {
 		last := paths[len(paths)-1]
@@ -194,7 +199,8 @@ func KShortestPaths(v View, src, dst SwitchID, k int) ([]SwitchPath, error) {
 				continue
 			}
 			total := append(root[:len(root)-1].Clone(), spurPath...)
-			if !containsPath(paths, total) && !containsPath(candidates, total) {
+			if key := pathKey(total); !seen[key] {
+				seen[key] = true
 				candidates = append(candidates, total)
 			}
 		}
@@ -213,13 +219,14 @@ func KShortestPaths(v View, src, dst SwitchID, k int) ([]SwitchPath, error) {
 	return paths, nil
 }
 
-func containsPath(haystack []SwitchPath, p SwitchPath) bool {
-	for _, h := range haystack {
-		if h.Equal(p) {
-			return true
-		}
+// pathKey returns the big-endian byte encoding of a path — the hash-set key
+// KShortestPaths dedups with.
+func pathKey(p SwitchPath) string {
+	b := make([]byte, 4*len(p))
+	for i, sw := range p {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(sw))
 	}
-	return false
+	return string(b)
 }
 
 func lessPath(a, b SwitchPath) bool {

@@ -139,11 +139,12 @@ func (h *Histogram) Quantile(q float64) int64 {
 
 // instrument binds one name to one kind of holder.
 type instrument struct {
-	name    string
-	counter *Counter
-	gauge   *Gauge
-	hist    *Histogram
-	fn      func() uint64
+	name     string
+	counter  *Counter
+	gauge    *Gauge
+	hist     *Histogram
+	histVals bool // hist observations are dimensionless values, not sim-time
+	fn       func() uint64
 }
 
 // Registry is an ordered collection of named instruments. Registration
@@ -196,12 +197,26 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns (creating if needed) the named sim-time histogram.
 func (r *Registry) Histogram(name string) *Histogram {
+	return r.histogram(name, false)
+}
+
+// ValueHistogram returns (creating if needed) a histogram whose
+// observations are dimensionless values (sizes, counts) rather than
+// sim-time durations; snapshots render it as raw numbers.
+func (r *Registry) ValueHistogram(name string) *Histogram {
+	return r.histogram(name, true)
+}
+
+func (r *Registry) histogram(name string, values bool) *Histogram {
 	in := r.get(name)
 	if in.hist == nil {
 		if in.counter != nil || in.gauge != nil || in.fn != nil {
 			panic(fmt.Sprintf("trace: %q already registered as a different instrument", name))
 		}
 		in.hist = &Histogram{}
+		in.histVals = values
+	} else if in.histVals != values {
+		panic(fmt.Sprintf("trace: %q already registered as a histogram of a different unit", name))
 	}
 	return in.hist
 }
@@ -230,12 +245,14 @@ type SnapshotEntry struct {
 	Hist  *HistSnapshot // set for histograms
 }
 
-// HistSnapshot is a histogram's summary at snapshot time.
+// HistSnapshot is a histogram's summary at snapshot time. Values marks a
+// dimensionless histogram (rendered as raw numbers, not durations).
 type HistSnapshot struct {
 	Count          uint64
 	Min, Max       int64
 	Mean           float64
 	P50, P99       int64
+	Values         bool
 }
 
 // Snapshot is the registry's state at one sim time.
@@ -262,6 +279,7 @@ func (r *Registry) Snapshot(at int64) Snapshot {
 			s.Entries = append(s.Entries, SnapshotEntry{Name: name, Kind: "histogram", Value: float64(h.Count()), Hist: &HistSnapshot{
 				Count: h.Count(), Min: h.Min(), Max: h.Max(), Mean: h.Mean(),
 				P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+				Values: in.histVals,
 			}})
 		}
 	}
@@ -288,9 +306,14 @@ func (s Snapshot) Table(title string, nonZeroOnly bool) *metrics.Table {
 			if nonZeroOnly && e.Hist.Count == 0 {
 				continue
 			}
-			tbl.AddRow(e.Name, fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
-				e.Hist.Count, time.Duration(int64(e.Hist.Mean)), time.Duration(e.Hist.P50),
-				time.Duration(e.Hist.P99), time.Duration(e.Hist.Max)))
+			if e.Hist.Values {
+				tbl.AddRow(e.Name, fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d max=%d",
+					e.Hist.Count, e.Hist.Mean, e.Hist.P50, e.Hist.P99, e.Hist.Max))
+			} else {
+				tbl.AddRow(e.Name, fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+					e.Hist.Count, time.Duration(int64(e.Hist.Mean)), time.Duration(e.Hist.P50),
+					time.Duration(e.Hist.P99), time.Duration(e.Hist.Max)))
+			}
 			continue
 		}
 		if nonZeroOnly && e.Value == 0 {
