@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"dumbnet/internal/controller"
@@ -225,6 +226,15 @@ func microBenches() []struct {
 				}
 			}
 		}},
+		// Sharded-engine suite: the EngineSharded pair isolates the window/
+		// barrier protocol; the FatTreeK16 pair runs one end-to-end traffic
+		// wave on 1 vs 8 shards (same virtual workload, so the ns/op ratio is
+		// the parallel speedup on multi-core hosts).
+		{"EngineSharded1", func(b *testing.B) { benchEngineSharded(b, 1) }},
+		{"EngineSharded4", func(b *testing.B) { benchEngineSharded(b, 4) }},
+		{"EngineSharded8", func(b *testing.B) { benchEngineSharded(b, 8) }},
+		{"FatTreeK16Shards1", func(b *testing.B) { benchFatTreeK16(b, 1) }},
+		{"FatTreeK16Shards8", func(b *testing.B) { benchFatTreeK16(b, 8) }},
 		{"KShortestPathsK8", func(b *testing.B) {
 			tp, err := topo.FatTree(6, 1, 0)
 			if err != nil {
@@ -318,25 +328,14 @@ func benchSwitchForward(b *testing.B, rec *trace.Recorder) {
 	}
 }
 
-// runBenchJSON executes the bench suite and writes (or appends to) path.
-func runBenchJSON(path, label string, appendRun bool) error {
-	file := benchFile{Schema: benchSchema}
-	if appendRun {
-		if data, err := os.ReadFile(path); err == nil {
-			if err := json.Unmarshal(data, &file); err != nil {
-				return fmt.Errorf("bench-json: existing %s is not valid: %w", path, err)
-			}
-			if file.Schema != benchSchema {
-				return fmt.Errorf("bench-json: %s has schema %q, want %q", path, file.Schema, benchSchema)
-			}
-		} else if !os.IsNotExist(err) {
-			return err
-		}
-		file.Schema = benchSchema
-	}
-
+// runBenchSuite executes the bench suite (optionally filtered by a substring
+// of the benchmark name) and returns the labeled run.
+func runBenchSuite(label, filter string) (benchRun, error) {
 	run := benchRun{Label: label, Go: runtime.Version()}
 	for _, mb := range microBenches() {
+		if filter != "" && !strings.Contains(mb.name, filter) {
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "bench %-18s ", mb.name)
 		r := testing.Benchmark(mb.fn)
 		res := benchResult{
@@ -350,6 +349,46 @@ func runBenchJSON(path, label string, appendRun bool) error {
 			res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
 		run.Benchmarks = append(run.Benchmarks, res)
 	}
+	if len(run.Benchmarks) == 0 {
+		return run, fmt.Errorf("no benchmarks match filter %q", filter)
+	}
+	if shapeMisses > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d bench iteration(s) missed experiment shape checks (timing noise under load; verify with -run)\n", shapeMisses)
+	}
+	return run, nil
+}
+
+// readBenchFile loads and validates a BENCH_results.json-format file.
+func readBenchFile(path string) (benchFile, error) {
+	var file benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return file, err
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		return file, fmt.Errorf("bench-json: %s is not valid: %w", path, err)
+	}
+	if file.Schema != benchSchema {
+		return file, fmt.Errorf("bench-json: %s has schema %q, want %q", path, file.Schema, benchSchema)
+	}
+	return file, nil
+}
+
+// runBenchJSON executes the bench suite and writes (or appends to) path.
+func runBenchJSON(path, label string, appendRun bool, filter string) error {
+	file := benchFile{Schema: benchSchema}
+	if appendRun {
+		if f, err := readBenchFile(path); err == nil {
+			file = f
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+
+	run, err := runBenchSuite(label, filter)
+	if err != nil {
+		return err
+	}
 	file.Runs = append(file.Runs, run)
 
 	out, err := json.MarshalIndent(&file, "", "  ")
@@ -360,9 +399,62 @@ func runBenchJSON(path, label string, appendRun bool) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	if shapeMisses > 0 {
-		fmt.Fprintf(os.Stderr, "note: %d bench iteration(s) missed experiment shape checks (timing noise under load; verify with -run)\n", shapeMisses)
-	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d run(s))\n", path, len(file.Runs))
+	return nil
+}
+
+// gateBench runs the (filtered) suite and compares it against the most
+// recent baseline run in baselinePath that contains each benchmark. A
+// benchmark fails the gate when its ns/op regresses by more than tolPct
+// percent, or when its allocs/op increases at all — allocation counts are
+// deterministic, so any increase is a real regression, while ns/op gets a
+// noise allowance. New benchmarks absent from the baseline pass by
+// definition.
+func gateBench(baselinePath, filter string, tolPct float64) error {
+	file, err := readBenchFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	if len(file.Runs) == 0 {
+		return fmt.Errorf("bench-gate: %s contains no runs", baselinePath)
+	}
+	// Latest run wins per benchmark name, so re-baselining a subset (via
+	// -bench-filter with -bench-append) behaves as expected.
+	baseline := make(map[string]benchResult)
+	for _, run := range file.Runs {
+		for _, r := range run.Benchmarks {
+			baseline[r.Name] = r
+		}
+	}
+
+	run, err := runBenchSuite("gate", filter)
+	if err != nil {
+		return err
+	}
+	failures := 0
+	for _, r := range run.Benchmarks {
+		base, ok := baseline[r.Name]
+		if !ok {
+			fmt.Printf("gate %-18s NEW     %12.2f ns/op %6d allocs/op (no baseline)\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp)
+			continue
+		}
+		nsDelta := 100 * (r.NsPerOp - base.NsPerOp) / base.NsPerOp
+		status := "ok"
+		switch {
+		case r.AllocsPerOp > base.AllocsPerOp:
+			status = "FAIL"
+			failures++
+		case nsDelta > tolPct:
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("gate %-18s %-4s %+8.1f%% ns/op (%.2f -> %.2f), allocs %d -> %d\n",
+			r.Name, status, nsDelta, base.NsPerOp, r.NsPerOp, base.AllocsPerOp, r.AllocsPerOp)
+	}
+	if failures > 0 {
+		return fmt.Errorf("bench-gate: %d benchmark(s) regressed beyond %.0f%% ns/op or grew allocs/op", failures, tolPct)
+	}
+	fmt.Printf("bench-gate: all %d benchmark(s) within %.0f%% of baseline\n", len(run.Benchmarks), tolPct)
 	return nil
 }

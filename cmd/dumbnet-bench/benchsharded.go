@@ -1,0 +1,108 @@
+package main
+
+import (
+	"testing"
+
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/testnet"
+	"dumbnet/internal/topo"
+)
+
+// Sharded-engine benchmarks. EngineShardedN measures the raw window/barrier
+// protocol on a synthetic workload; FatTreeK16ShardsN measures an identical
+// end-to-end traffic mix on a 320-switch fat-tree deployed on 1 vs 8
+// shards. The pairs share one workload each, so their ns/op ratio is the
+// parallel speedup (or, single-core, the synchronization overhead) — see
+// EXPERIMENTS.md for the comparison recipe and the GOMAXPROCS caveat.
+
+// benchEngineSharded runs one fixed workload — 8 node slots in a ring, each
+// with a 1µs periodic timer that sends a frame to both ring neighbors over
+// 50µs links — distributed round-robin across n shards, then measures
+// RunFor(1ms) windows. The virtual workload is identical for every shard
+// count; only the slot-to-shard assignment (and thus how many links cross
+// shards) changes.
+func benchEngineSharded(b *testing.B, shards int) {
+	const slots = 8
+	g := sim.NewShardedEngine(1, sim.Shards(shards))
+	ends := make([]*benchSink, slots)
+	engs := make([]*sim.Engine, slots)
+	for i := 0; i < slots; i++ {
+		ends[i] = &benchSink{}
+		engs[i] = g.Shard(i % shards)
+	}
+	lcfg := sim.LinkConfig{PropDelay: 50 * sim.Microsecond, BandwidthBps: 10e9}
+	links := make([]*sim.Link, slots) // links[i]: slot i <-> slot (i+1)%slots
+	for i := 0; i < slots; i++ {
+		j := (i + 1) % slots
+		links[i] = sim.NewLinkBetween(engs[i], ends[i], 1, engs[j], ends[j], 1, lcfg)
+	}
+	frame := make([]byte, 256)
+	for i := 0; i < slots; i++ {
+		eng := engs[i]
+		idx := i
+		var tick func()
+		tick = func() {
+			links[idx].SendFrom(ends[idx], frame)
+			links[(idx+slots-1)%slots].SendFrom(ends[idx], frame)
+			eng.After(sim.Microsecond, tick)
+		}
+		eng.After(sim.Microsecond, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.RunFor(sim.Millisecond)
+	}
+	b.StopTimer()
+	if g.Processed() == 0 {
+		b.Fatal("sharded benchmark processed no events")
+	}
+}
+
+// benchFatTreeK16 deploys a k=16 fat-tree (320 switches, 128 hosts) on the
+// given shard count and measures draining a fixed cross-pod traffic wave:
+// 16 host pairs sampled across pods, one 1400-byte frame each way per op.
+func benchFatTreeK16(b *testing.B, shards int) {
+	tp, err := topo.FatTree(16, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := testnet.DefaultOptions()
+	opts.Shards = shards
+	n, err := testnet.Build(tp, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pairCount = 16
+	hosts := n.Hosts
+	pairs := make([][2]packet.MAC, 0, pairCount)
+	for i := 0; i < pairCount; i++ {
+		pairs = append(pairs, [2]packet.MAC{hosts[i], hosts[len(hosts)-1-i]})
+	}
+	// Warm the route caches so steady-state forwarding is measured, not the
+	// first-packet path-request round trips.
+	for _, p := range pairs {
+		if err := n.Agents[p[0]].WarmUp(p[1]); err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Agents[p[1]].WarmUp(p[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n.Run()
+	payload := make([]byte, 1400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pairs {
+			if err := n.Agents[p[0]].SendData(p[1], payload); err != nil {
+				b.Fatal(err)
+			}
+			if err := n.Agents[p[1]].SendData(p[0], payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		n.Run()
+	}
+}

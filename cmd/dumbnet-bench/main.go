@@ -134,6 +134,9 @@ func main() {
 		benchJSON   = flag.String("bench-json", "", "run the microbenchmark suite and write results to this JSON file")
 		benchLabel  = flag.String("bench-label", "current", "label recorded for the bench run in -bench-json output")
 		benchAppend = flag.Bool("bench-append", false, "append the bench run to an existing -bench-json file instead of overwriting")
+		benchFilter = flag.String("bench-filter", "", "only run benchmarks whose name contains this substring (for -bench-json / -bench-gate)")
+		benchGate   = flag.String("bench-gate", "", "run the suite and fail if ns/op regresses beyond -bench-gate-pct or allocs/op grows vs this baseline JSON")
+		benchGatePc = flag.Float64("bench-gate-pct", 15, "ns/op regression tolerance (percent) for -bench-gate")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -175,8 +178,15 @@ func main() {
 		}()
 	}
 
+	if *benchGate != "" {
+		if err := gateBench(*benchGate, *benchFilter, *benchGatePc); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-gate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchLabel, *benchAppend); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchLabel, *benchAppend, *benchFilter); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
 			os.Exit(1)
 		}

@@ -18,9 +18,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"dumbnet/internal/chaos"
 	"dumbnet/internal/core"
+	"dumbnet/internal/host"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
@@ -56,6 +58,8 @@ func main() {
 		discover = flag.Bool("discover", true, "use probe-based discovery (false: install topology directly)")
 		iperf    = flag.Duration("iperf", 0, "run a goodput measurement for this long (e.g. 100ms)")
 		stats    = flag.Bool("stats", false, "query per-switch counters at the end")
+		policy   = flag.String("policy", "", "host routing policy: "+strings.Join(host.PolicyNames(), "|")+" (default: sticky)")
+		shards   = flag.Int("shards", 1, "parallel simulation shards (1 = classic single-engine run)")
 
 		chaosOn   = flag.Bool("chaos", false, "run a seeded chaos scenario after bringup")
 		chaosSeed = flag.Int64("chaos-seed", 1, "chaos scenario seed (same seed, same event trace)")
@@ -116,9 +120,19 @@ func main() {
 	fmt.Printf("topology: %d switches, %d links, %d hosts\n",
 		t.NumSwitches(), t.NumLinks(), t.NumHosts())
 
-	net, err := core.New(t, core.DefaultConfig())
+	var opts []core.Option
+	if *shards > 1 {
+		opts = append(opts, core.WithShards(*shards))
+	}
+	if *policy != "" {
+		opts = append(opts, core.WithPolicy(*policy))
+	}
+	net, err := core.New(t, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if g := net.SimGroup(); g != nil {
+		fmt.Printf("engine: %d shards, lookahead %v\n", g.NumShards(), g.Lookahead().Duration())
 	}
 	var rec *trace.Recorder
 	if *traceOut != "" {

@@ -22,7 +22,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	net, err := core.New(t, core.DefaultConfig())
+	net, err := core.New(t)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func main() {
 	fmt.Printf("fabric: %d stateless switches, %d links, %d hosts\n",
 		t.NumSwitches(), t.NumLinks(), t.NumHosts())
 
-	net, err := core.New(t, core.DefaultConfig())
+	net, err := core.New(t)
 	if err != nil {
 		log.Fatal(err)
 	}

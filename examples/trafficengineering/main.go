@@ -30,7 +30,7 @@ func run(name string, flowlet bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	net, err := core.New(t, core.DefaultConfig())
+	net, err := core.New(t)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,8 +17,8 @@ import (
 	"math/rand"
 	"strings"
 
-	"dumbnet/internal/core"
 	"dumbnet/internal/fabric"
+	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
 	"dumbnet/internal/trace"
@@ -94,8 +94,8 @@ func (c Config) withDefaults() Config {
 type Event struct {
 	At   sim.Time
 	Kind string
-	A, B core.SwitchID // link events
-	Sw   core.SwitchID // switch events
+	A, B packet.SwitchID // link events
+	Sw   packet.SwitchID // switch events
 }
 
 // String renders the event compactly.
@@ -172,10 +172,10 @@ func TraceEqual(a, b []Event) bool {
 	return true
 }
 
-type pair struct{ a, b core.SwitchID }
+type pair struct{ a, b packet.SwitchID }
 
 type runner struct {
-	n   *core.Network
+	n   Target
 	cfg Config
 	rng *rand.Rand
 	// auditRng drives the mid-run route-cache audits. It is separate from
@@ -186,8 +186,8 @@ type runner struct {
 	links     []pair // all switch-to-switch links, deterministic order
 	down      map[pair]bool
 	flap      map[pair]bool
-	crashed   map[core.SwitchID]bool
-	protected map[core.SwitchID]bool // switches under controller replicas
+	crashed   map[packet.SwitchID]bool
+	protected map[packet.SwitchID]bool // switches under controller replicas
 	ctrlDown  bool
 	baseline  *topo.Topology // master view before any fault was injected
 
@@ -199,7 +199,7 @@ type runner struct {
 // heal everything, settle, and check invariants. The network must be
 // bootstrapped and warmed; CrashController additionally requires
 // EnableReplicationAt to have run.
-func Run(n *core.Network, cfg Config) (*Report, error) {
+func Run(n Target, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.CrashController && n.Group() == nil {
 		return nil, fmt.Errorf("chaos: CrashController requires controller replication")
@@ -211,12 +211,12 @@ func Run(n *core.Network, cfg Config) (*Report, error) {
 		auditRng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 		down:      make(map[pair]bool),
 		flap:      make(map[pair]bool),
-		crashed:   make(map[core.SwitchID]bool),
-		protected: make(map[core.SwitchID]bool),
+		crashed:   make(map[packet.SwitchID]bool),
+		protected: make(map[packet.SwitchID]bool),
 		rep:       &Report{},
 	}
-	for _, id := range n.Topo.SwitchIDs() {
-		for _, nb := range n.Topo.Neighbors(id) {
+	for _, id := range n.Topology().SwitchIDs() {
+		for _, nb := range n.Topology().Neighbors(id) {
 			if nb.Sw > id {
 				r.links = append(r.links, pair{a: id, b: nb.Sw})
 			}
@@ -225,12 +225,12 @@ func Run(n *core.Network, cfg Config) (*Report, error) {
 	// Never crash a switch that carries a controller replica: the
 	// scenario tests failover between controllers, not the (hopeless)
 	// case of every controller unreachable at once.
-	ctrlMACs := []core.MAC{n.Ctrl.MAC()}
+	ctrlMACs := []packet.MAC{n.Controller().MAC()}
 	if g := n.Group(); g != nil {
 		ctrlMACs = g.MACs()
 	}
 	for _, m := range ctrlMACs {
-		if at, err := n.Topo.HostAt(m); err == nil {
+		if at, err := n.Topology().HostAt(m); err == nil {
 			r.protected[at.Switch] = true
 		}
 	}
@@ -244,13 +244,13 @@ func Run(n *core.Network, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("chaos: network has no master view (bootstrap it first)")
 	}
 
-	r.n.Fab.ImpairAllLinks(sim.Impairment{LossProb: cfg.Loss, CorruptProb: cfg.Corrupt, JitterMax: cfg.Jitter})
+	r.n.Fabric().ImpairAllLinks(sim.Impairment{LossProb: cfg.Loss, CorruptProb: cfg.Corrupt, JitterMax: cfg.Jitter})
 	r.record("impair", pair{}, 0)
 
 	ctrlCrashAt := cfg.Events / 3
 	for i := 0; i < cfg.Events; i++ {
 		if cfg.CrashController && i == ctrlCrashAt && !r.ctrlDown {
-			n.Ctrl.Crash()
+			n.Controller().Crash()
 			r.ctrlDown = true
 			r.record("crash-ctrl", pair{}, 0)
 		} else {
@@ -266,7 +266,7 @@ func Run(n *core.Network, cfg Config) (*Report, error) {
 	n.RunFor(cfg.Settle)
 	r.check()
 	r.rep.Drops = n.Drops()
-	if tr := n.Eng.Tracer(); tr != nil {
+	if tr := n.Engine().Tracer(); tr != nil {
 		r.rep.Timelines = trace.ExtractTimelines(tr.Records())
 	}
 	return r.rep, nil
@@ -297,21 +297,21 @@ func scenarioOpFor(kind string) trace.ScenarioOp {
 	return trace.ScenarioIdle
 }
 
-func (r *runner) record(kind string, p pair, sw core.SwitchID) {
-	r.rep.Trace = append(r.rep.Trace, Event{At: r.n.Eng.Now(), Kind: kind, A: p.a, B: p.b, Sw: sw})
+func (r *runner) record(kind string, p pair, sw packet.SwitchID) {
+	r.rep.Trace = append(r.rep.Trace, Event{At: r.n.Engine().Now(), Kind: kind, A: p.a, B: p.b, Sw: sw})
 	a, b := p.a, p.b
 	if kind == "crash-switch" || kind == "restart-switch" {
 		a, b = sw, 0
 	}
-	r.n.Eng.Tracer().Scenario(int64(r.n.Eng.Now()), scenarioOpFor(kind), a, b)
+	r.n.Engine().Tracer().Scenario(int64(r.n.Engine().Now()), scenarioOpFor(kind), a, b)
 }
 
 // viewConnected checks whether the fabric's switch graph stays connected
 // under the currently injected faults plus a candidate extra fault.
 // Flapping links count as down for the whole phase (pessimistic), so a
 // flap can never conspire with later failures into a partition.
-func (r *runner) viewConnected(extraDown *pair, extraCrash *core.SwitchID) bool {
-	v := r.n.Topo.Clone()
+func (r *runner) viewConnected(extraDown *pair, extraCrash *packet.SwitchID) bool {
+	v := r.n.Topology().Clone()
 	drop := func(p pair) {
 		if pa, err := v.PortToward(p.a, p.b); err == nil {
 			_ = v.Disconnect(p.a, pa)
@@ -325,7 +325,7 @@ func (r *runner) viewConnected(extraDown *pair, extraCrash *core.SwitchID) bool 
 	if extraDown != nil {
 		drop(*extraDown)
 	}
-	for _, id := range r.n.Topo.SwitchIDs() {
+	for _, id := range r.n.Topology().SwitchIDs() {
 		if r.crashed[id] {
 			_ = v.RemoveSwitch(id)
 		}
@@ -344,7 +344,7 @@ func (r *runner) linkCandidates() []pair {
 		if r.down[p] || r.flap[p] || r.crashed[p.a] || r.crashed[p.b] {
 			continue
 		}
-		l, err := r.n.Fab.LinkBetween(p.a, p.b)
+		l, err := r.n.Fabric().LinkBetween(p.a, p.b)
 		if err != nil || !l.Up() {
 			continue
 		}
@@ -366,9 +366,9 @@ func (r *runner) healCandidates() []pair {
 	return out
 }
 
-func (r *runner) crashCandidates() []core.SwitchID {
-	var out []core.SwitchID
-	for _, id := range r.n.Topo.SwitchIDs() {
+func (r *runner) crashCandidates() []packet.SwitchID {
+	var out []packet.SwitchID
+	for _, id := range r.n.Topology().SwitchIDs() {
 		if r.crashed[id] || r.protected[id] {
 			continue
 		}
@@ -380,9 +380,9 @@ func (r *runner) crashCandidates() []core.SwitchID {
 	return out
 }
 
-func (r *runner) restartCandidates() []core.SwitchID {
-	var out []core.SwitchID
-	for _, id := range r.n.Topo.SwitchIDs() {
+func (r *runner) restartCandidates() []packet.SwitchID {
+	var out []packet.SwitchID
+	for _, id := range r.n.Topology().SwitchIDs() {
 		if r.crashed[id] {
 			out = append(out, id)
 		}
@@ -440,7 +440,7 @@ func (r *runner) step() {
 			}
 			if c := r.linkCandidates(); len(c) > 0 {
 				p := c[r.rng.Intn(len(c))]
-				l, err := r.n.Fab.LinkBetween(p.a, p.b)
+				l, err := r.n.Fabric().LinkBetween(p.a, p.b)
 				if err != nil {
 					continue
 				}
@@ -499,7 +499,7 @@ func (r *runner) background() {
 func (r *runner) healAll() {
 	for _, p := range r.links {
 		if r.flap[p] {
-			if l, err := r.n.Fab.LinkBetween(p.a, p.b); err == nil {
+			if l, err := r.n.Fabric().LinkBetween(p.a, p.b); err == nil {
 				l.StopFlap()
 				l.Restore()
 			}
@@ -510,17 +510,17 @@ func (r *runner) healAll() {
 			delete(r.down, p)
 		}
 	}
-	for _, id := range r.n.Topo.SwitchIDs() {
+	for _, id := range r.n.Topology().SwitchIDs() {
 		if r.crashed[id] {
 			_ = r.n.RestartSwitch(id)
 			delete(r.crashed, id)
 		}
 	}
 	if r.ctrlDown {
-		r.n.Ctrl.Restart()
+		r.n.Controller().Restart()
 		r.ctrlDown = false
 		r.record("restart-ctrl", pair{}, 0)
 	}
-	r.n.Fab.ImpairAllLinks(sim.Impairment{})
+	r.n.Fabric().ImpairAllLinks(sim.Impairment{})
 	r.record("heal-all", pair{}, 0)
 }

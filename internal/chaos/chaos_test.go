@@ -1,9 +1,10 @@
-package chaos
+package chaos_test
 
 import (
 	"bytes"
 	"testing"
 
+	"dumbnet/internal/chaos"
 	"dumbnet/internal/core"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
@@ -21,7 +22,7 @@ func buildNetwork(t *testing.T, seed int64, replicate bool) *core.Network {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
-	n, err := core.New(tp, cfg)
+	n, err := core.New(tp, core.WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,8 +46,8 @@ func buildNetwork(t *testing.T, seed int64, replicate bool) *core.Network {
 // must hold.
 func TestChaosAcceptance(t *testing.T) {
 	n := buildNetwork(t, 42, true)
-	cfg := DefaultConfig(42)
-	rep, err := Run(n, cfg)
+	cfg := chaos.DefaultConfig(42)
+	rep, err := chaos.Run(n, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,11 +86,11 @@ func TestChaosAcceptance(t *testing.T) {
 // TestChaosDeterminism: the same seed must reproduce the identical event
 // trace (times included); a different seed must diverge.
 func TestChaosDeterminism(t *testing.T) {
-	run := func(seed int64) *Report {
+	run := func(seed int64) *chaos.Report {
 		n := buildNetwork(t, 7, true)
-		cfg := DefaultConfig(seed)
+		cfg := chaos.DefaultConfig(seed)
 		cfg.Events = 20
-		rep, err := Run(n, cfg)
+		rep, err := chaos.Run(n, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,11 +98,11 @@ func TestChaosDeterminism(t *testing.T) {
 	}
 	a := run(11)
 	b := run(11)
-	if !TraceEqual(a.Trace, b.Trace) {
+	if !chaos.TraceEqual(a.Trace, b.Trace) {
 		t.Fatalf("same seed diverged:\n%v\nvs\n%v", a.Trace, b.Trace)
 	}
 	c := run(12)
-	if TraceEqual(a.Trace, c.Trace) {
+	if chaos.TraceEqual(a.Trace, c.Trace) {
 		t.Fatal("different seeds produced identical traces — rng not wired through")
 	}
 }
@@ -111,10 +112,10 @@ func TestChaosDeterminism(t *testing.T) {
 // must still satisfy every invariant.
 func TestChaosWithoutReplication(t *testing.T) {
 	n := buildNetwork(t, 3, false)
-	cfg := DefaultConfig(3)
+	cfg := chaos.DefaultConfig(3)
 	cfg.Events = 20
 	cfg.CrashController = false
-	rep, err := Run(n, cfg)
+	rep, err := chaos.Run(n, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestRouteCacheInvalidationUnderChaos(t *testing.T) {
 	}
 	ccfg := core.DefaultConfig()
 	ccfg.Seed = 99
-	n, err := core.New(tp, ccfg)
+	n, err := core.New(tp, core.WithConfig(ccfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,10 +151,10 @@ func TestRouteCacheInvalidationUnderChaos(t *testing.T) {
 	}
 	n.WarmAll()
 
-	cfg := DefaultConfig(99)
+	cfg := chaos.DefaultConfig(99)
 	cfg.Events = 20
 	cfg.CrashController = false
-	rep, err := Run(n, cfg)
+	rep, err := chaos.Run(n, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,8 +184,8 @@ func TestRouteCacheInvalidationUnderChaos(t *testing.T) {
 // is a misconfiguration, not a scenario.
 func TestChaosRejectsCtrlCrashWithoutReplicas(t *testing.T) {
 	n := buildNetwork(t, 5, false)
-	cfg := DefaultConfig(5)
-	if _, err := Run(n, cfg); err == nil {
+	cfg := chaos.DefaultConfig(5)
+	if _, err := chaos.Run(n, cfg); err == nil {
 		t.Fatal("expected an error: CrashController without replication")
 	}
 }
@@ -193,7 +194,7 @@ func TestChaosRejectsCtrlCrashWithoutReplicas(t *testing.T) {
 // graph — verified by replaying the trace against a topology mirror.
 func TestChaosPartitionAvoidance(t *testing.T) {
 	n := buildNetwork(t, 9, true)
-	rep, err := Run(n, DefaultConfig(9))
+	rep, err := chaos.Run(n, chaos.DefaultConfig(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,13 +268,13 @@ func TestChaosRecoveryTimelines(t *testing.T) {
 	n := buildNetwork(t, 21, false)
 	rec := trace.NewRecorder(trace.DefaultConfig())
 	n.Eng.SetTracer(rec)
-	cfg := DefaultConfig(21)
+	cfg := chaos.DefaultConfig(21)
 	cfg.Events = 16
 	cfg.Loss = 0
 	cfg.Corrupt = 0
 	cfg.Flap = false
 	cfg.CrashController = false
-	rep, err := Run(n, cfg)
+	rep, err := chaos.Run(n, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,9 +317,9 @@ func TestChaosTraceExportDeterminism(t *testing.T) {
 		n := buildNetwork(t, 7, true)
 		rec := trace.NewRecorder(trace.DefaultConfig())
 		n.Eng.SetTracer(rec)
-		cfg := DefaultConfig(seed)
+		cfg := chaos.DefaultConfig(seed)
 		cfg.Events = 16
-		if _, err := Run(n, cfg); err != nil {
+		if _, err := chaos.Run(n, cfg); err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer

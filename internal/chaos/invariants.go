@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dumbnet/internal/controller"
-	"dumbnet/internal/core"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
@@ -32,8 +31,8 @@ func (r *runner) violate(inv, format string, args ...any) {
 	r.rep.Violations = append(r.rep.Violations, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
 }
 
-func (r *runner) allHosts() []core.MAC {
-	return append([]core.MAC{r.n.Ctrl.MAC()}, r.n.Hosts()...)
+func (r *runner) allHosts() []packet.MAC {
+	return append([]packet.MAC{r.n.Controller().MAC()}, r.n.Hosts()...)
 }
 
 func (r *runner) checkConnectivity() {
@@ -43,14 +42,14 @@ func (r *runner) checkConnectivity() {
 			if src == dst {
 				continue
 			}
-			deadline := r.n.Eng.Now() + r.cfg.Deadline
+			deadline := r.n.Engine().Now() + r.cfg.Deadline
 			attempts := 0
 			for {
 				attempts++
 				if _, err := r.n.PingSync(src, dst); err == nil {
 					break
 				}
-				if r.n.Eng.Now() >= deadline {
+				if r.n.Engine().Now() >= deadline {
 					r.violate("connectivity", "%v -> %v unreachable after %d attempts", src, dst, attempts)
 					break
 				}
@@ -76,7 +75,7 @@ func (r *runner) checkNoLoops() {
 				paths = append(paths[:len(paths):len(paths)], *e.Backup)
 			}
 			for _, cp := range paths {
-				if err := walkPath(r.n.Topo, h, cp.Tags, dst); err != nil {
+				if err := walkPath(r.n.Topology(), h, cp.Tags, dst); err != nil {
 					r.violate("no-loops", "host %v route to %v: %v (tags %v)", h, dst, err, cp.Tags)
 				}
 			}
@@ -87,7 +86,7 @@ func (r *runner) checkNoLoops() {
 // walkPath replays a tag stack over the (healed) physical topology: each
 // tag must name a wired port, no switch may repeat, and the final tag must
 // land on the destination host.
-func walkPath(t *topo.Topology, src core.MAC, tags packet.Path, dst core.MAC) error {
+func walkPath(t *topo.Topology, src packet.MAC, tags packet.Path, dst packet.MAC) error {
 	if len(tags) == 0 {
 		return fmt.Errorf("empty tag stack")
 	}
@@ -96,7 +95,7 @@ func walkPath(t *topo.Topology, src core.MAC, tags packet.Path, dst core.MAC) er
 		return err
 	}
 	cur := at.Switch
-	visited := map[core.SwitchID]bool{cur: true}
+	visited := map[packet.SwitchID]bool{cur: true}
 	for i, tag := range tags {
 		ep, err := t.EndpointAt(cur, topo.Port(tag))
 		if err != nil {
@@ -127,7 +126,7 @@ func (r *runner) activeCtrl() *controller.Controller {
 	if g := r.n.Group(); g != nil {
 		return g.Primary()
 	}
-	return r.n.Ctrl
+	return r.n.Controller()
 }
 
 // masterView picks the authoritative master: the consensus leader's when
@@ -138,7 +137,7 @@ func (r *runner) masterView() *topo.Topology {
 			return p.Master()
 		}
 	}
-	return r.n.Ctrl.Master()
+	return r.n.Controller().Master()
 }
 
 // auditRouteCache is the mid-chaos half of the route-cache invariant: while
@@ -170,7 +169,7 @@ func (r *runner) auditRouteCache() {
 
 // assertPathInView verifies every consecutive hop of the answer's primary
 // and backup paths is a live link in v.
-func (r *runner) assertPathInView(v *topo.Topology, when string, src, dst core.MAC, pg *topo.PathGraph) {
+func (r *runner) assertPathInView(v *topo.Topology, when string, src, dst packet.MAC, pg *topo.PathGraph) {
 	check := func(name string, p topo.SwitchPath) {
 		for i := 0; i+1 < len(p); i++ {
 			if _, err := v.PortToward(p[i], p[i+1]); err != nil {
@@ -208,7 +207,7 @@ func (r *runner) checkRouteService() {
 				r.violate("route-cache", "%v -> %v: %v", src, dst, err)
 				continue
 			}
-			r.assertPathInView(r.n.Topo, "post-heal", src, dst, pg)
+			r.assertPathInView(r.n.Topology(), "post-heal", src, dst, pg)
 		}
 	}
 }

@@ -1,0 +1,43 @@
+package chaos
+
+import (
+	"dumbnet/internal/controller"
+	"dumbnet/internal/fabric"
+	"dumbnet/internal/host"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// Target is the deployment surface a chaos scenario drives. core.Network
+// implements it; the indirection (rather than importing core) lets core
+// offer chaos as a construction option (core.WithChaos) without an import
+// cycle, and lets tests drive scenarios against purpose-built harnesses.
+type Target interface {
+	// Engine returns the deployment's home engine (the controller's shard
+	// in a sharded run): scenario tracing and virtual-time reads go there.
+	Engine() *sim.Engine
+	// Topology is the deployment's physical graph (the generator
+	// blueprint, not the controller's view).
+	Topology() *topo.Topology
+	// Fabric exposes link/switch handles for impairment and flapping.
+	Fabric() *fabric.Fabric
+	// Controller returns the bootstrap (primary) controller.
+	Controller() *controller.Controller
+	// Group returns the controller replica group, nil when unreplicated.
+	Group() *controller.ReplicaGroup
+	// Hosts lists non-controller host MACs in deterministic order.
+	Hosts() []packet.MAC
+	// Agent returns a host's agent (including the controller's).
+	Agent(m packet.MAC) *host.Agent
+
+	Ping(src, dst packet.MAC, cb func(rtt sim.Time)) error
+	PingSync(src, dst packet.MAC) (sim.Time, error)
+	RunFor(d sim.Time)
+
+	FailLink(a, b packet.SwitchID) error
+	RestoreLink(a, b packet.SwitchID) error
+	CrashSwitch(id packet.SwitchID) error
+	RestartSwitch(id packet.SwitchID) error
+	Drops() fabric.DropCounters
+}

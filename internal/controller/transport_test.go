@@ -1,0 +1,240 @@
+package controller
+
+import (
+	"testing"
+
+	"dumbnet/internal/host"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// --- cpuModel -----------------------------------------------------------
+
+func TestCPUModelSerializesCharges(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cpu := cpuModel{eng: eng}
+	if got := cpu.charge(10); got != 10 {
+		t.Fatalf("first charge completes at %d, want 10", got)
+	}
+	// Second charge queues behind the first even though no time has passed.
+	if got := cpu.charge(5); got != 15 {
+		t.Fatalf("queued charge completes at %d, want 15", got)
+	}
+	// Once the clock runs past the busy horizon, charges start at now.
+	eng.After(100, func() {})
+	eng.Run()
+	if got := cpu.charge(7); got != 107 {
+		t.Fatalf("post-idle charge completes at %d, want 107", got)
+	}
+}
+
+// --- FabricTransport ----------------------------------------------------
+
+func newBareTransport(t *testing.T) (*sim.Engine, *Controller, *FabricTransport) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	mac := packet.MACFromUint64(0xC0)
+	agent := host.New(eng, mac, host.DefaultConfig())
+	c := New(eng, agent, DefaultConfig())
+	return eng, c, NewFabricTransport(c)
+}
+
+func TestFabricTransportMatchesReplyBySeq(t *testing.T) {
+	eng, _, tr := newBareTransport(t)
+	var got []ProbeResult
+	cb := func(r ProbeResult) { got = append(got, r) }
+	tr.Probe(packet.Path{1}, packet.Path{2}, cb)
+	tr.Probe(packet.Path{3}, packet.Path{4}, cb)
+	if tr.ProbesSent() != 2 {
+		t.Fatalf("ProbesSent = %d, want 2", tr.ProbesSent())
+	}
+
+	// Replies arrive out of order; each resolves its own probe.
+	if !tr.sink(packet.MsgIDReply, &packet.IDReply{Seq: 2, ID: 9}) {
+		t.Fatal("IDReply not consumed")
+	}
+	if !tr.sink(packet.MsgProbeReply, &packet.ProbeReply{Seq: 1, Responder: packet.MACFromUint64(7), KnowsCtrl: true}) {
+		t.Fatal("ProbeReply not consumed")
+	}
+	if len(got) != 2 {
+		t.Fatalf("resolved %d probes, want 2", len(got))
+	}
+	if got[0].Kind != ResultID || got[0].Switch != 9 {
+		t.Fatalf("probe 2 resolved as %+v, want ID 9", got[0])
+	}
+	if got[1].Kind != ResultHost || got[1].Host != packet.MACFromUint64(7) || !got[1].KnowsCtrl {
+		t.Fatalf("probe 1 resolved as %+v, want host 7 knowing ctrl", got[1])
+	}
+
+	// A duplicate reply is consumed but must not fire the callback again,
+	// and the pending timeout must not re-resolve either.
+	tr.sink(packet.MsgIDReply, &packet.IDReply{Seq: 2, ID: 9})
+	eng.Run()
+	if len(got) != 2 {
+		t.Fatalf("late duplicate/timeout re-resolved: %d results", len(got))
+	}
+}
+
+func TestFabricTransportTimeoutResolvesLost(t *testing.T) {
+	eng, c, tr := newBareTransport(t)
+	var got []ProbeResult
+	var at sim.Time
+	tr.Probe(packet.Path{1, 2}, nil, func(r ProbeResult) {
+		got = append(got, r)
+		at = eng.Now()
+	})
+	eng.Run()
+	if len(got) != 1 || got[0].Kind != ResultLost {
+		t.Fatalf("unanswered probe resolved as %+v, want one ResultLost", got)
+	}
+	d := c.cfg.Discovery
+	if want := d.ProbeSendCost + d.ProbeTimeout; at != want {
+		t.Fatalf("timeout fired at %d, want issue(%d)+timeout(%d)=%d", at, d.ProbeSendCost, d.ProbeTimeout, want)
+	}
+}
+
+func TestFabricTransportCPUOrdersIssues(t *testing.T) {
+	// Probes serialize through the controller CPU: with no replies, their
+	// timeouts fire exactly ProbeSendCost apart, in issue order.
+	eng, c, tr := newBareTransport(t)
+	var fired []sim.Time
+	for i := 0; i < 3; i++ {
+		tr.Probe(packet.Path{1}, nil, func(ProbeResult) { fired = append(fired, eng.Now()) })
+	}
+	eng.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d timeouts, want 3", len(fired))
+	}
+	cost := c.cfg.Discovery.ProbeSendCost
+	for i := 1; i < len(fired); i++ {
+		if fired[i]-fired[i-1] != cost {
+			t.Fatalf("timeout gap %d = %d, want ProbeSendCost %d", i, fired[i]-fired[i-1], cost)
+		}
+	}
+}
+
+func TestFabricTransportBounceDetection(t *testing.T) {
+	_, c, tr := newBareTransport(t)
+	var got []ProbeResult
+	tr.Probe(packet.Path{1, 1}, nil, func(r ProbeResult) { got = append(got, r) })
+
+	// A probe from someone else is not ours to consume.
+	if tr.sink(packet.MsgProbe, &packet.Probe{Origin: packet.MACFromUint64(0xEE), Seq: 1}) {
+		t.Fatal("foreign probe consumed by transport")
+	}
+	if len(got) != 0 {
+		t.Fatal("foreign probe resolved our pending probe")
+	}
+	// Our own probe looping back is a bounce.
+	if !tr.sink(packet.MsgProbe, &packet.Probe{Origin: c.MAC(), Seq: 1}) {
+		t.Fatal("own bounced probe not consumed")
+	}
+	if len(got) != 1 || got[0].Kind != ResultBounce {
+		t.Fatalf("bounce resolved as %+v", got)
+	}
+}
+
+// --- OracleTransport ----------------------------------------------------
+
+// oracleFixture is a 2-switch line: self on sw1 port 2, peer on sw2 port 2,
+// switches joined port 1 <-> port 1.
+func oracleFixture(t *testing.T) (*sim.Engine, *OracleTransport, packet.MAC, packet.MAC) {
+	t.Helper()
+	tp := topo.New()
+	self := packet.MACFromUint64(0xA1)
+	peer := packet.MACFromUint64(0xB2)
+	for id := packet.SwitchID(1); id <= 2; id++ {
+		if err := tp.AddSwitch(id, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tp.Connect(1, 1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AttachHost(self, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AttachHost(peer, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	return eng, NewOracleTransport(eng, tp, self, DefaultConfig().Discovery), self, peer
+}
+
+// probeOracle runs one probe to completion and returns its result.
+func probeOracle(t *testing.T, eng *sim.Engine, tr *OracleTransport, tags, ret packet.Path) ProbeResult {
+	t.Helper()
+	var got *ProbeResult
+	tr.Probe(tags, ret, func(r ProbeResult) { got = &r })
+	eng.Run()
+	if got == nil {
+		t.Fatalf("probe %v/%v never resolved", tags, ret)
+	}
+	return *got
+}
+
+func TestOracleWalkOutcomes(t *testing.T) {
+	eng, tr, _, peer := oracleFixture(t)
+	cases := []struct {
+		name string
+		tags packet.Path
+		ret  packet.Path
+		want ProbeResult
+	}{
+		{"id-query-own-switch", packet.Path{packet.TagIDQuery, 2}, nil,
+			ProbeResult{Kind: ResultID, Switch: 1}},
+		{"bounce-to-self", packet.Path{2}, nil,
+			ProbeResult{Kind: ResultBounce}},
+		{"peer-with-valid-return", packet.Path{1, 2}, packet.Path{1, 2},
+			ProbeResult{Kind: ResultHost, Host: peer}},
+		{"peer-without-return", packet.Path{1, 2}, nil,
+			ProbeResult{Kind: ResultLost}},
+		{"peer-with-bad-return-port", packet.Path{1, 2}, packet.Path{3},
+			ProbeResult{Kind: ResultLost}},
+		{"return-with-id-query", packet.Path{1, 2}, packet.Path{packet.TagIDQuery, 2},
+			ProbeResult{Kind: ResultLost}},
+		{"double-id-query", packet.Path{packet.TagIDQuery, 1, packet.TagIDQuery, 2}, nil,
+			ProbeResult{Kind: ResultLost}},
+		{"host-mid-path", packet.Path{2, 1}, nil,
+			ProbeResult{Kind: ResultLost}},
+		{"tags-exhausted-at-switch", packet.Path{1}, nil,
+			ProbeResult{Kind: ResultLost}},
+		{"unwired-port", packet.Path{3}, nil,
+			ProbeResult{Kind: ResultLost}},
+		{"id-query-then-peer", packet.Path{packet.TagIDQuery, 1, 2}, packet.Path{1, 2},
+			ProbeResult{Kind: ResultLost}},
+	}
+	for _, tc := range cases {
+		got := probeOracle(t, eng, tr, tc.tags, tc.ret)
+		if got.Kind != tc.want.Kind || got.Switch != tc.want.Switch || got.Host != tc.want.Host {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	if tr.ProbesSent() != uint64(len(cases)) {
+		t.Errorf("ProbesSent = %d, want %d", tr.ProbesSent(), len(cases))
+	}
+}
+
+func TestOracleUnattachedProberIsLost(t *testing.T) {
+	eng, tr, _, _ := oracleFixture(t)
+	tr.self = packet.MACFromUint64(0xDD) // not attached anywhere
+	if got := probeOracle(t, eng, tr, packet.Path{2}, nil); got.Kind != ResultLost {
+		t.Fatalf("probe from unattached host = %+v, want ResultLost", got)
+	}
+}
+
+func TestOracleChargesRepliesOnlyWhenAnswered(t *testing.T) {
+	// A lost probe costs ProbeSendCost only; an answered probe additionally
+	// serializes ReplyCost through the same CPU.
+	eng, tr, _, _ := oracleFixture(t)
+	probeOracle(t, eng, tr, packet.Path{3}, nil) // lost
+	afterLost := tr.cpu.free
+	if want := tr.cfg.ProbeSendCost; afterLost != want {
+		t.Fatalf("cpu busy until %d after lost probe, want %d", afterLost, want)
+	}
+	probeOracle(t, eng, tr, packet.Path{2}, nil) // bounce (answered)
+	if tr.cpu.free <= afterLost+tr.cfg.ProbeSendCost {
+		t.Fatalf("answered probe did not charge ReplyCost (cpu free at %d)", tr.cpu.free)
+	}
+}

@@ -25,7 +25,7 @@ func TestChaosConnectivityUnderFailures(t *testing.T) {
 			}
 			cfg := core.DefaultConfig()
 			cfg.Seed = seed
-			n, err := core.New(tp, cfg)
+			n, err := core.New(tp, core.WithConfig(cfg))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -57,7 +57,7 @@ func TestChaosControllerFailover(t *testing.T) {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = 4
-	n, err := core.New(tp, cfg)
+	n, err := core.New(tp, core.WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}

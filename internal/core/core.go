@@ -12,7 +12,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"dumbnet/internal/chaos"
 	"dumbnet/internal/consensus"
 	"dumbnet/internal/controller"
 	"dumbnet/internal/fabric"
@@ -58,6 +60,9 @@ var (
 
 // Network is a deployed DumbNet fabric.
 type Network struct {
+	// Eng is the deployment's home engine: in a single-engine run, the one
+	// engine; in a sharded run, the controller's shard. Run/RunFor on it
+	// advance the whole group either way.
 	Eng  *sim.Engine
 	Topo *topo.Topology
 	Fab  *fabric.Fabric
@@ -67,11 +72,22 @@ type Network struct {
 	agents map[MAC]*host.Agent
 	hosts  []MAC // non-controller hosts, MAC order
 
+	// mu guards the cross-shard maps below: in a sharded run, dispatch fires
+	// from per-shard workers concurrently.
+	mu        sync.Mutex
 	receivers map[MAC]func(src MAC, payload []byte)
 	pingSeq   uint64
 	pingWait  map[uint64]func(rtt sim.Time)
-	booted    bool
-	group     *controller.ReplicaGroup
+
+	booted   bool
+	group    *controller.ReplicaGroup
+	simGroup *sim.ShardGroup // nil in single-engine runs
+	chaosCfg *chaos.Config   // stored by WithChaos for RunChaos
+
+	// replication requested via options, applied when the network boots.
+	pendingReplicas   int
+	pendingReplicasAt []MAC
+
 	// perpetual marks that self-rescheduling timers (consensus heartbeats)
 	// keep the event queue non-empty forever; drains become time-bounded.
 	perpetual bool
@@ -85,11 +101,34 @@ const (
 )
 
 // New deploys a topology: switches and links come up, every host gets an
-// agent, one host becomes the controller. The network still needs
+// agent, one host becomes the controller. Behaviour beyond the defaults is
+// selected with functional options (WithSeed, WithShards, WithReplicasAt,
+// WithTracer, WithChaos, WithPolicy, ...). The network still needs
 // Bootstrap (instant) or Discover (probe-based) before traffic flows.
-func New(t *topo.Topology, cfg Config) (*Network, error) {
-	eng := sim.NewEngine(cfg.Seed)
-	fab, err := fabric.Build(eng, t, cfg.Fabric)
+func New(t *topo.Topology, opts ...Option) (*Network, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := o.cfg
+	if o.shards > 1 && (o.replicas > 0 || len(o.replicasAt) > 0) {
+		return nil, fmt.Errorf("core: WithShards(%d) cannot be combined with controller replication (consensus timers are single-engine)", o.shards)
+	}
+
+	var (
+		eng      *sim.Engine
+		simGroup *sim.ShardGroup
+		fab      *fabric.Fabric
+		err      error
+	)
+	if o.shards > 1 {
+		simGroup = sim.NewShardedEngine(cfg.Seed, sim.Shards(o.shards))
+		part := topo.PartitionShards(t, o.shards)
+		fab, err = fabric.BuildSharded(simGroup, t, cfg.Fabric, part)
+	} else {
+		eng = sim.NewEngine(cfg.Seed)
+		fab, err = fabric.Build(eng, t, cfg.Fabric)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -102,29 +141,43 @@ func New(t *topo.Topology, cfg Config) (*Network, error) {
 		ctrlMAC = hosts[0].Host
 	}
 	n := &Network{
-		Eng:       eng,
-		Topo:      t,
-		Fab:       fab,
-		cfg:       cfg,
-		agents:    make(map[MAC]*host.Agent, len(hosts)),
-		receivers: make(map[MAC]func(MAC, []byte)),
-		pingWait:  make(map[uint64]func(sim.Time)),
+		Topo:              t,
+		Fab:               fab,
+		cfg:               cfg,
+		agents:            make(map[MAC]*host.Agent, len(hosts)),
+		receivers:         make(map[MAC]func(MAC, []byte)),
+		pingWait:          make(map[uint64]func(sim.Time)),
+		simGroup:          simGroup,
+		chaosCfg:          o.chaos,
+		pendingReplicas:   o.replicas,
+		pendingReplicasAt: o.replicasAt,
 	}
 	found := false
 	for _, at := range hosts {
-		agent := host.New(eng, at.Host, cfg.Host)
+		// In a sharded run each host lives on its attachment switch's shard.
+		heng := eng
+		if simGroup != nil {
+			heng = fab.EngineFor(at.Switch)
+		}
+		agent := host.New(heng, at.Host, cfg.Host)
 		l, err := fab.AttachHost(at.Host, agent)
 		if err != nil {
 			return nil, err
 		}
 		agent.SetUplink(l)
+		if o.policy != "" {
+			if _, err := agent.UsePolicy(o.policy); err != nil {
+				return nil, err
+			}
+		}
 		n.agents[at.Host] = agent
 		mac := at.Host
 		agent.OnData = func(src MAC, innerType uint16, payload []byte) {
 			n.dispatch(mac, src, payload)
 		}
 		if at.Host == ctrlMAC {
-			n.Ctrl = controller.New(eng, agent, cfg.Controller)
+			n.Ctrl = controller.New(heng, agent, cfg.Controller)
+			n.Eng = heng
 			found = true
 		} else {
 			n.hosts = append(n.hosts, at.Host)
@@ -133,7 +186,18 @@ func New(t *topo.Topology, cfg Config) (*Network, error) {
 	if !found {
 		return nil, fmt.Errorf("core: controller host %v not in topology", ctrlMAC)
 	}
+	if o.tracer != nil {
+		n.Eng.SetTracer(o.tracer)
+	}
 	return n, nil
+}
+
+// NewWithConfig deploys with a bundled Config.
+//
+// Deprecated: use New(t, WithConfig(cfg)) — or the fine-grained options —
+// instead. Retained so pre-options callers keep compiling.
+func NewWithConfig(t *topo.Topology, cfg Config) (*Network, error) {
+	return New(t, WithConfig(cfg))
 }
 
 // Hosts lists the non-controller host MACs in deterministic order.
@@ -152,6 +216,26 @@ func (n *Network) Bootstrap() error {
 	}
 	n.Eng.Run()
 	n.booted = true
+	return n.applyPendingReplication()
+}
+
+// applyPendingReplication stands up replication requested at construction
+// (WithReplicas / WithReplicasAt) once the network has booted.
+func (n *Network) applyPendingReplication() error {
+	if n.pendingReplicas > 0 {
+		total := n.pendingReplicas
+		n.pendingReplicas = 0
+		if _, err := n.EnableReplication(total); err != nil {
+			return err
+		}
+	}
+	if len(n.pendingReplicasAt) > 0 {
+		macs := n.pendingReplicasAt
+		n.pendingReplicasAt = nil
+		if _, err := n.EnableReplicationAt(macs); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -180,7 +264,7 @@ func (n *Network) Discover(maxPorts int) (controller.DiscoveryReport, error) {
 	}
 	n.Eng.Run()
 	n.booted = true
-	return report, nil
+	return report, n.applyPendingReplication()
 }
 
 // reconfigureDiscovery rebuilds the controller with a new port bound.
@@ -190,7 +274,9 @@ func (n *Network) reconfigureDiscovery(maxPorts int) *controller.Controller {
 	return controller.New(n.Eng, n.Ctrl.Agent, cfg)
 }
 
-// dispatch demultiplexes core-protocol payloads arriving at a host.
+// dispatch demultiplexes core-protocol payloads arriving at a host. In a
+// sharded run it is called from per-shard workers, so shared maps are
+// locked and clocks are read from the receiving host's own engine.
 func (n *Network) dispatch(at, src MAC, payload []byte) {
 	if len(payload) == 0 {
 		return
@@ -198,7 +284,10 @@ func (n *Network) dispatch(at, src MAC, payload []byte) {
 	kind, body := payload[0], payload[1:]
 	switch kind {
 	case kindData:
-		if fn := n.receivers[at]; fn != nil {
+		n.mu.Lock()
+		fn := n.receivers[at]
+		n.mu.Unlock()
+		if fn != nil {
 			fn(src, body)
 		}
 	case kindEchoReq:
@@ -211,9 +300,12 @@ func (n *Network) dispatch(at, src MAC, payload []byte) {
 			for i := 0; i < 8; i++ {
 				seq = seq<<8 | uint64(body[i])
 			}
-			if fn := n.pingWait[seq]; fn != nil {
-				delete(n.pingWait, seq)
-				fn(n.Eng.Now())
+			n.mu.Lock()
+			fn := n.pingWait[seq]
+			delete(n.pingWait, seq)
+			n.mu.Unlock()
+			if fn != nil {
+				fn(n.agents[at].Engine().Now())
 			}
 		}
 	}
@@ -224,7 +316,9 @@ func (n *Network) OnReceive(h MAC, fn func(src MAC, payload []byte)) error {
 	if _, ok := n.agents[h]; !ok {
 		return ErrNoSuchHost
 	}
+	n.mu.Lock()
 	n.receivers[h] = fn
+	n.mu.Unlock()
 	return nil
 }
 
@@ -251,10 +345,14 @@ func (n *Network) Ping(src, dst MAC, cb func(rtt sim.Time)) error {
 	if !n.booted {
 		return ErrNotDeployed
 	}
+	// RTT is measured on the source host's own clock: the echo reply comes
+	// back to src, so send and receive read the same shard's engine.
+	sentAt := a.Engine().Now()
+	n.mu.Lock()
 	n.pingSeq++
 	seq := n.pingSeq
-	sentAt := n.Eng.Now()
 	n.pingWait[seq] = func(at sim.Time) { cb(at - sentAt) }
+	n.mu.Unlock()
 	body := []byte{kindEchoReq, byte(seq >> 56), byte(seq >> 48), byte(seq >> 40), byte(seq >> 32),
 		byte(seq >> 24), byte(seq >> 16), byte(seq >> 8), byte(seq)}
 	return a.SendData(dst, body)
@@ -299,6 +397,56 @@ func (n *Network) Drops() fabric.DropCounters { return n.Fab.Drops() }
 // enabled.
 func (n *Network) Group() *controller.ReplicaGroup { return n.group }
 
+// Engine returns the deployment's home engine (the controller's shard in a
+// sharded run). Part of the chaos.Target surface.
+func (n *Network) Engine() *sim.Engine { return n.Eng }
+
+// Topology returns the deployed physical topology.
+func (n *Network) Topology() *topo.Topology { return n.Topo }
+
+// Fabric returns the physical fabric.
+func (n *Network) Fabric() *fabric.Fabric { return n.Fab }
+
+// Controller returns the bootstrap (primary) controller.
+func (n *Network) Controller() *controller.Controller { return n.Ctrl }
+
+// SimGroup returns the sharded engine group, nil for single-engine runs.
+func (n *Network) SimGroup() *sim.ShardGroup { return n.simGroup }
+
+// RunChaos executes the chaos scenario stored by WithChaos over the booted
+// network.
+func (n *Network) RunChaos() (*chaos.Report, error) {
+	if n.chaosCfg == nil {
+		return nil, fmt.Errorf("core: no chaos configuration (construct with WithChaos)")
+	}
+	if !n.booted {
+		return nil, ErrNotDeployed
+	}
+	return chaos.Run(n, *n.chaosCfg)
+}
+
+// SetPolicy installs a registered routing policy (see host.PolicyNames) on
+// one host.
+func (n *Network) SetPolicy(h MAC, name string) error {
+	a, ok := n.agents[h]
+	if !ok {
+		return ErrNoSuchHost
+	}
+	_, err := a.UsePolicy(name)
+	return err
+}
+
+// SetPolicyAll installs a registered routing policy on every host,
+// controller included. Each host gets a fresh policy instance.
+func (n *Network) SetPolicyAll(name string) error {
+	for _, a := range n.agents {
+		if _, err := a.UsePolicy(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Run drains all pending virtual-time events. Once replication is enabled,
 // heartbeat timers keep the queue non-empty forever, so Run advances a
 // bounded settle window (1 virtual second) instead.
@@ -315,23 +463,23 @@ func (n *Network) RunFor(d sim.Time) { n.Eng.RunFor(d) }
 
 // EnableFlowletTE switches a host's route chooser to flowlet-based traffic
 // engineering (§6.2).
+//
+// Deprecated: use SetPolicy(h, "flowlet") for the default timeout, or
+// Agent(h).SetPolicy(host.NewFlowletChooser(timeout)) for a custom one.
 func (n *Network) EnableFlowletTE(h MAC, timeout sim.Time) error {
 	a, ok := n.agents[h]
 	if !ok {
 		return ErrNoSuchHost
 	}
-	a.Chooser = host.NewFlowletChooser(timeout)
+	a.SetPolicy(host.NewFlowletChooser(timeout))
 	return nil
 }
 
 // UseSinglePath pins a host to its primary path (the Fig 13 baseline).
+//
+// Deprecated: use SetPolicy(h, "single").
 func (n *Network) UseSinglePath(h MAC) error {
-	a, ok := n.agents[h]
-	if !ok {
-		return ErrNoSuchHost
-	}
-	a.Chooser = host.SinglePathChooser{}
-	return nil
+	return n.SetPolicy(h, "single")
 }
 
 // EnableReplication stands up total-1 additional controller replicas and
@@ -340,9 +488,15 @@ func (n *Network) UseSinglePath(h MAC) error {
 // is proposed as the initial snapshot once a leader is elected. Returns the
 // replica group; RunFor enough virtual time (seconds) for elections and
 // replication to settle.
+//
+// Prefer constructing with WithReplicas(total), which applies this
+// automatically after Bootstrap/Discover.
 func (n *Network) EnableReplication(total int) (*controller.ReplicaGroup, error) {
 	if !n.booted {
 		return nil, ErrNotDeployed
+	}
+	if n.simGroup != nil {
+		return nil, fmt.Errorf("core: controller replication is not supported in sharded runs")
 	}
 	if total < 1 {
 		total = 3
@@ -363,9 +517,15 @@ func (n *Network) EnableReplication(total int) (*controller.ReplicaGroup, error)
 // path requests over the wire — so hosts can fail over to them when the
 // primary crashes. The replica list (with per-host paths) is advertised to
 // every host. Call after Bootstrap.
+//
+// Prefer constructing with WithReplicasAt(macs...), which applies this
+// automatically after Bootstrap/Discover.
 func (n *Network) EnableReplicationAt(macs []MAC) (*controller.ReplicaGroup, error) {
 	if !n.booted {
 		return nil, ErrNotDeployed
+	}
+	if n.simGroup != nil {
+		return nil, fmt.Errorf("core: controller replication is not supported in sharded runs")
 	}
 	n.perpetual = true
 	ctrls := []*controller.Controller{n.Ctrl}

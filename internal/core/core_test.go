@@ -15,7 +15,7 @@ func deploy(t *testing.T) *core.Network {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := core.New(tp, core.DefaultConfig())
+	n, err := core.New(tp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestSendReceive(t *testing.T) {
 
 func TestSendBeforeBootstrapFails(t *testing.T) {
 	tp, _ := topo.Testbed()
-	n, err := core.New(tp, core.DefaultConfig())
+	n, err := core.New(tp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestPing(t *testing.T) {
 
 func TestDiscoverThenTraffic(t *testing.T) {
 	tp, _ := topo.Testbed()
-	n, err := core.New(tp, core.DefaultConfig())
+	n, err := core.New(tp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestCustomControllerHost(t *testing.T) {
 	tp, _ := topo.Testbed()
 	cfg := core.DefaultConfig()
 	cfg.ControllerHost = tp.Hosts()[5].Host
-	n, err := core.New(tp, cfg)
+	n, err := core.New(tp, core.WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestBadControllerHost(t *testing.T) {
 	tp, _ := topo.Testbed()
 	cfg := core.DefaultConfig()
 	cfg.ControllerHost[0] = 0xFF
-	if _, err := core.New(tp, cfg); err == nil {
+	if _, err := core.New(tp, core.WithConfig(cfg)); err == nil {
 		t.Fatal("bogus controller host accepted")
 	}
 }
@@ -193,7 +193,7 @@ func TestDeterministicRuns(t *testing.T) {
 		tp, _ := topo.Testbed()
 		cfg := core.DefaultConfig()
 		cfg.Seed = 77
-		n, err := core.New(tp, cfg)
+		n, err := core.New(tp, core.WithConfig(cfg))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,7 +247,7 @@ func TestEnableReplication(t *testing.T) {
 
 func TestEnableReplicationBeforeBootstrapFails(t *testing.T) {
 	tp, _ := topo.Testbed()
-	n, err := core.New(tp, core.DefaultConfig())
+	n, err := core.New(tp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"dumbnet/internal/chaos"
+	"dumbnet/internal/controller"
+	"dumbnet/internal/fabric"
+	"dumbnet/internal/host"
+	"dumbnet/internal/trace"
+)
+
+// Option configures New. The functional-options constructor replaces the
+// former pattern of building a Network and then calling post-hoc mutators
+// (EnableReplication, EnableReplicationAt, manual tracer attachment):
+//
+//	n, err := core.New(t,
+//	    core.WithSeed(42),
+//	    core.WithShards(8),
+//	    core.WithTracer(rec),
+//	    core.WithReplicasAt(h3, h7),
+//	    core.WithChaos(chaos.DefaultConfig(42)))
+//
+// Replication options are recorded at construction and applied
+// automatically when Bootstrap or Discover completes (replication requires
+// a booted network). A chaos config is stored for RunChaos.
+type Option func(*options)
+
+type options struct {
+	cfg        Config
+	shards     int
+	replicas   int   // synthetic replicas (WithReplicas); 0 = off
+	replicasAt []MAC // fabric-attached replicas (WithReplicasAt)
+	tracer     *trace.Recorder
+	chaos      *chaos.Config
+	policy     string // routing policy installed on every host; "" = default
+}
+
+func defaultOptions() options {
+	return options{cfg: DefaultConfig()}
+}
+
+// WithConfig replaces the whole bundled Config (seed, fabric, host,
+// controller, controller placement). Later fine-grained options override
+// individual fields.
+func WithConfig(cfg Config) Option {
+	return func(o *options) { o.cfg = cfg }
+}
+
+// WithSeed sets the simulation seed.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.cfg.Seed = seed }
+}
+
+// WithFabric sets the physical fabric parameters.
+func WithFabric(cfg fabric.Config) Option {
+	return func(o *options) { o.cfg.Fabric = cfg }
+}
+
+// WithHost sets the host-agent configuration.
+func WithHost(cfg host.Config) Option {
+	return func(o *options) { o.cfg.Host = cfg }
+}
+
+// WithController sets the controller configuration.
+func WithController(cfg controller.Config) Option {
+	return func(o *options) { o.cfg.Controller = cfg }
+}
+
+// WithControllerHost picks which topology host runs the controller (default:
+// first host by MAC order).
+func WithControllerHost(m MAC) Option {
+	return func(o *options) { o.cfg.ControllerHost = m }
+}
+
+// WithShards runs the deployment on n parallel simulation shards: the
+// topology is auto-partitioned (topo.PartitionShards), switches and hosts
+// land on their region's engine, and Run/RunFor advance all shards
+// concurrently under the conservative window protocol. n <= 1 keeps the
+// classic single-engine deployment (bit-identical to previous releases).
+// Sharded runs currently exclude controller replication (consensus timers
+// are single-engine) — combining them is a construction error.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithReplicas stands up total-1 synthetic controller replicas (no fabric
+// uplink — consensus-only, as EnableReplication did) once the network
+// boots.
+func WithReplicas(total int) Option {
+	return func(o *options) { o.replicas = total }
+}
+
+// WithReplicasAt promotes the given fabric-attached hosts to controller
+// replicas once the network boots, and advertises the replica list to every
+// host (as EnableReplicationAt did).
+func WithReplicasAt(macs ...MAC) Option {
+	return func(o *options) { o.replicasAt = append([]MAC(nil), macs...) }
+}
+
+// WithTracer attaches a flight recorder at construction. In a sharded run
+// the recorder observes the controller's shard only (trace recorders are
+// single-threaded); attach per-shard recorders via SimGroup for full
+// coverage.
+func WithTracer(rec *trace.Recorder) Option {
+	return func(o *options) { o.tracer = rec }
+}
+
+// WithChaos stores a chaos scenario configuration; run it over the booted
+// network with RunChaos.
+func WithChaos(cfg chaos.Config) Option {
+	return func(o *options) { o.chaos = &cfg }
+}
+
+// WithPolicy installs a registered host routing policy (host.PolicyNames:
+// "single", "sticky", "rr", "flowlet", "ecn") on every host at
+// construction.
+func WithPolicy(name string) Option {
+	return func(o *options) { o.policy = name }
+}

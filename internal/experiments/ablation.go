@@ -131,7 +131,7 @@ func AblationFlowletTimeout() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		n, err := core.New(t, core.DefaultConfig())
+		n, err := core.New(t)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +204,7 @@ func AblationHopLimit() (*Result, error) {
 		cfg := core.DefaultConfig()
 		cfg.Fabric.Switch.NotifyHops = hops
 		cfg.Host.DisableHostFlood = true
-		n, err := core.New(t, cfg)
+		n, err := core.New(t, core.WithConfig(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -262,7 +262,7 @@ func AblationSuppression() (*Result, error) {
 		}
 		cfg := core.DefaultConfig()
 		cfg.Fabric.Switch.SuppressWindow = w
-		n, err := core.New(t, cfg)
+		n, err := core.New(t, core.WithConfig(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -308,7 +308,7 @@ func AblationECN() (*Result, error) {
 		cfg.Fabric.SwitchLink.BandwidthBps = 100e6
 		cfg.Fabric.SwitchLink.MaxBacklog = 500 * sim.Millisecond
 		cfg.Host.ProcessDelay = 0
-		n, err := core.New(t, cfg)
+		n, err := core.New(t, core.WithConfig(cfg))
 		if err != nil {
 			return 0, err
 		}

@@ -94,7 +94,7 @@ func TestbedDiscovery() (*Result, error) {
 		// Datacenter RTTs are tens of µs; 2 ms declares a probe lost.
 		ProbeTimeout: 2 * sim.Millisecond,
 	}
-	n, err := core.New(t, cfg)
+	n, err := core.New(t, core.WithConfig(cfg))
 	if err != nil {
 		return nil, err
 	}

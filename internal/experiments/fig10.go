@@ -138,7 +138,7 @@ func nativeRTTs(t *topo.Topology, cfg Fig10Config, pairs [][2]packet.MAC) (*metr
 func dumbnetRTTs(t *topo.Topology, cfg Fig10Config, pairs [][2]packet.MAC, warm bool) (*metrics.Dist, error) {
 	ncfg := core.DefaultConfig()
 	ncfg.Host.ProcessDelay = cfg.DPDKCost
-	n, err := core.New(t.Clone(), ncfg)
+	n, err := core.New(t.Clone(), core.WithConfig(ncfg))
 	if err != nil {
 		return nil, err
 	}

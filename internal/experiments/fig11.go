@@ -39,7 +39,7 @@ func Fig11a(cfg Fig11aConfig) (*Result, error) {
 	ncfg := core.DefaultConfig()
 	ncfg.Host.ProcessDelay = cfg.HostCost
 	ncfg.Controller.PatchDelay = cfg.PatchCost
-	n, err := core.New(t, ncfg)
+	n, err := core.New(t, core.WithConfig(ncfg))
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +164,7 @@ func dumbnetFailover(cfg Fig11bConfig) (*metrics.TimeSeries, error) {
 	ncfg.Host.ProcessDelay = cfg.HostCost
 	// Paper throttles to 0.5 Gbps to saturate the link.
 	ncfg.Fabric.SwitchLink.BandwidthBps = cfg.RateBps
-	n, err := core.New(t, ncfg)
+	n, err := core.New(t, core.WithConfig(ncfg))
 	if err != nil {
 		return nil, err
 	}

@@ -33,7 +33,7 @@ func AblationPHostIncast() (*Result, error) {
 		cfg.Fabric.SwitchLink.MaxBacklog = 250 * sim.Microsecond
 		cfg.Fabric.HostLink.MaxBacklog = 250 * sim.Microsecond
 		cfg.Host.ProcessDelay = 0
-		n, err := core.New(t, cfg)
+		n, err := core.New(t, core.WithConfig(cfg))
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,8 @@
 package fabric
 
 import (
+	"fmt"
+
 	"dumbnet/internal/dswitch"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
@@ -45,18 +47,50 @@ type linkKey struct {
 
 // Fabric is a live simulated network.
 type Fabric struct {
+	// Eng is the fabric's home engine: the only engine in a single-shard
+	// build, shard 0 of the group in a sharded build (metrics registration
+	// and other idle-time bookkeeping live there).
 	Eng      *sim.Engine
 	Topo     *topo.Topology
 	cfg      Config
 	switches map[packet.SwitchID]*dswitch.Switch
 	links    map[linkKey]*sim.Link
 	hostLink map[packet.MAC]*sim.Link
+
+	// group and shardOf are set only by BuildSharded.
+	group   *sim.ShardGroup
+	shardOf map[packet.SwitchID]int
 }
 
 // Build instantiates switches and switch-to-switch links for t. Host nodes
 // are attached afterwards with AttachHost. The topology is retained (not
 // copied): later topology mutations do not affect the running fabric.
 func Build(eng *sim.Engine, t *topo.Topology, cfg Config) (*Fabric, error) {
+	return build(eng, nil, nil, t, cfg)
+}
+
+// BuildSharded instantiates the fabric across the shards of g following the
+// partition (switch → shard index, typically from topo.PartitionShards).
+// Every switch runs on its shard's engine; links whose endpoints land on
+// different shards become cross-shard links and define the group's
+// lookahead, so the switch-link propagation delay must be positive.
+func BuildSharded(g *sim.ShardGroup, t *topo.Topology, cfg Config, part map[packet.SwitchID]int) (*Fabric, error) {
+	if g == nil {
+		return nil, fmt.Errorf("fabric: BuildSharded without a shard group")
+	}
+	for _, id := range t.SwitchIDs() {
+		s, ok := part[id]
+		if !ok {
+			return nil, fmt.Errorf("fabric: switch %d missing from partition", id)
+		}
+		if s < 0 || s >= g.NumShards() {
+			return nil, fmt.Errorf("fabric: switch %d assigned to shard %d of %d", id, s, g.NumShards())
+		}
+	}
+	return build(g.Shard(0), g, part, t, cfg)
+}
+
+func build(eng *sim.Engine, g *sim.ShardGroup, part map[packet.SwitchID]int, t *topo.Topology, cfg Config) (*Fabric, error) {
 	f := &Fabric{
 		Eng:      eng,
 		Topo:     t,
@@ -64,13 +98,15 @@ func Build(eng *sim.Engine, t *topo.Topology, cfg Config) (*Fabric, error) {
 		switches: make(map[packet.SwitchID]*dswitch.Switch),
 		links:    make(map[linkKey]*sim.Link),
 		hostLink: make(map[packet.MAC]*sim.Link),
+		group:    g,
+		shardOf:  part,
 	}
 	for _, id := range t.SwitchIDs() {
 		ports, err := t.PortCount(id)
 		if err != nil {
 			return nil, err
 		}
-		f.switches[id] = dswitch.New(eng, id, ports, cfg.Switch)
+		f.switches[id] = dswitch.New(f.EngineFor(id), id, ports, cfg.Switch)
 	}
 	for _, id := range t.SwitchIDs() {
 		sw := f.switches[id]
@@ -83,7 +119,8 @@ func Build(eng *sim.Engine, t *topo.Topology, cfg Config) (*Fabric, error) {
 			if err != nil {
 				return nil, err
 			}
-			l := sim.NewLink(eng, sw, int(nb.Port), far, int(farPort), cfg.SwitchLink)
+			l := sim.NewLinkBetween(f.EngineFor(id), sw, int(nb.Port),
+				f.EngineFor(nb.Sw), far, int(farPort), cfg.SwitchLink)
 			sw.AttachLink(int(nb.Port), l)
 			far.AttachLink(int(farPort), l)
 			// Keyed from the lower-ID side (id < nb.Sw here).
@@ -92,6 +129,28 @@ func Build(eng *sim.Engine, t *topo.Topology, cfg Config) (*Fabric, error) {
 	}
 	f.registerMetrics()
 	return f, nil
+}
+
+// Group returns the shard group of a sharded build, nil otherwise.
+func (f *Fabric) Group() *sim.ShardGroup { return f.group }
+
+// EngineFor returns the engine that owns a switch: the fabric engine in a
+// single-shard build, the switch's shard engine in a sharded one. Hosts and
+// any other component wired to the switch must live on this engine.
+func (f *Fabric) EngineFor(id packet.SwitchID) *sim.Engine {
+	if f.group == nil {
+		return f.Eng
+	}
+	return f.group.Shard(f.shardOf[id])
+}
+
+// ShardOf returns the shard index owning a switch (0 in single-shard
+// builds).
+func (f *Fabric) ShardOf(id packet.SwitchID) int {
+	if f.group == nil {
+		return 0
+	}
+	return f.shardOf[id]
 }
 
 // registerMetrics binds the fabric's aggregate stats into the engine's
@@ -140,7 +199,9 @@ func (f *Fabric) registerMetrics() {
 func (f *Fabric) Switch(id packet.SwitchID) *dswitch.Switch { return f.switches[id] }
 
 // AttachHost wires a host node at its attachment point recorded in the
-// topology, returning the host's uplink.
+// topology, returning the host's uplink. In a sharded build the host link
+// lives entirely on the attachment switch's shard — the node itself must
+// have been built against that shard's engine (EngineForHost).
 func (f *Fabric) AttachHost(mac packet.MAC, node sim.Node) (*sim.Link, error) {
 	at, err := f.Topo.HostAt(mac)
 	if err != nil {
@@ -150,10 +211,21 @@ func (f *Fabric) AttachHost(mac packet.MAC, node sim.Node) (*sim.Link, error) {
 	if !ok {
 		return nil, topo.ErrNoSwitch
 	}
-	l := sim.NewLink(f.Eng, sw, int(at.Port), node, 1, f.cfg.HostLink)
+	eng := f.EngineFor(at.Switch)
+	l := sim.NewLink(eng, sw, int(at.Port), node, 1, f.cfg.HostLink)
 	sw.AttachLink(int(at.Port), l)
 	f.hostLink[mac] = l
 	return l, nil
+}
+
+// EngineForHost returns the engine a host must be built on: the engine of
+// its attachment switch's shard.
+func (f *Fabric) EngineForHost(mac packet.MAC) (*sim.Engine, error) {
+	at, err := f.Topo.HostAt(mac)
+	if err != nil {
+		return nil, err
+	}
+	return f.EngineFor(at.Switch), nil
 }
 
 // HostLink returns a host's uplink.

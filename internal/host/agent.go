@@ -288,6 +288,11 @@ func New(eng *sim.Engine, mac packet.MAC, cfg Config) *Agent {
 // MAC returns the host's address.
 func (a *Agent) MAC() packet.MAC { return a.mac }
 
+// Engine returns the engine this agent runs on — in a sharded deployment,
+// the shard that owns the host's attachment switch. All timing observed at
+// this host (ping RTTs, timeouts) must be read from this engine's clock.
+func (a *Agent) Engine() *sim.Engine { return a.eng }
+
 // Stats returns a copy of the counters.
 func (a *Agent) Stats() Stats { return a.stats }
 

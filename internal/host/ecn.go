@@ -117,8 +117,11 @@ func (c *ECNChooser) Epoch(dst packet.MAC) uint64 { return c.epoch[dst] }
 func (c *ECNChooser) SetEpoch(dst packet.MAC, e uint64) { c.epoch[dst] = e }
 
 // UseECNRouting installs a congestion-aware chooser on the agent.
+//
+// Deprecated: use Agent.UsePolicy("ecn") for defaults, or
+// Agent.SetPolicy(NewECNChooser(cooldown, nil)) for a custom cooldown.
 func (a *Agent) UseECNRouting(cooldown sim.Time) *ECNChooser {
-	c := NewECNChooser(cooldown, a.eng.Now)
-	a.Chooser = c
+	c := NewECNChooser(cooldown, nil)
+	a.SetPolicy(c)
 	return c
 }

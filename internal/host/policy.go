@@ -1,0 +1,114 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dumbnet/internal/sim"
+)
+
+// Policy is the unified host routing-policy interface: every way a host can
+// pick among its k cached paths — sticky flows, flowlet TE, packet spraying,
+// single-path pinning, ECN-driven rerouting — behind one type. A Policy is
+// a RouteChooser plus an installation hook: Install runs when the policy is
+// attached to an agent and is where a policy captures agent facilities (the
+// virtual clock, config defaults). Congestion-reactive policies additionally
+// implement CongestionAware; the agent feeds them ECN echoes exactly as
+// before.
+type Policy interface {
+	RouteChooser
+	// Install binds the policy to its agent. Called once per attachment by
+	// Agent.SetPolicy; a policy attached to two agents is a bug (choosers
+	// keep per-flow state).
+	Install(a *Agent)
+}
+
+// Default knobs for registry-built policies. Policies built directly
+// (NewFlowletChooser, NewECNChooser) take explicit parameters instead.
+const (
+	// DefaultFlowletTimeout is the idle gap that starts a new flowlet for
+	// the registry's "flowlet" policy.
+	DefaultFlowletTimeout = 500 * sim.Microsecond
+	// DefaultECNCooldown bounds per-destination reroute frequency for the
+	// registry's "ecn" policy.
+	DefaultECNCooldown = sim.Millisecond
+)
+
+var (
+	policyMu sync.RWMutex
+	policies = map[string]func() Policy{}
+)
+
+// RegisterPolicy adds (or replaces) a named policy factory. The factory
+// must return a fresh instance per call — policies hold per-flow state and
+// are never shared between agents.
+func RegisterPolicy(name string, factory func() Policy) {
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	policies[name] = factory
+}
+
+// NewPolicy builds a fresh instance of a registered policy.
+func NewPolicy(name string) (Policy, error) {
+	policyMu.RLock()
+	factory, ok := policies[name]
+	policyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("host: unknown routing policy %q (have %v)", name, PolicyNames())
+	}
+	return factory(), nil
+}
+
+// PolicyNames lists the registered policy names, sorted.
+func PolicyNames() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	names := make([]string, 0, len(policies))
+	for n := range policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetPolicy installs a routing policy on the agent.
+func (a *Agent) SetPolicy(p Policy) {
+	p.Install(a)
+	a.Chooser = p
+}
+
+// UsePolicy installs a registered policy by name and returns the instance.
+func (a *Agent) UsePolicy(name string) (Policy, error) {
+	p, err := NewPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	a.SetPolicy(p)
+	return p, nil
+}
+
+// The five built-in policies.
+func init() {
+	RegisterPolicy("single", func() Policy { return SinglePathChooser{} })
+	RegisterPolicy("sticky", func() Policy { return NewStickyChooser() })
+	RegisterPolicy("rr", func() Policy { return NewRoundRobinChooser() })
+	RegisterPolicy("flowlet", func() Policy { return NewFlowletChooser(DefaultFlowletTimeout) })
+	RegisterPolicy("ecn", func() Policy { return NewECNChooser(DefaultECNCooldown, nil) })
+}
+
+// Install implements Policy (no agent facilities needed).
+func (c *StickyChooser) Install(*Agent) {}
+
+// Install implements Policy (no agent facilities needed).
+func (c *FlowletChooser) Install(*Agent) {}
+
+// Install implements Policy (no agent facilities needed).
+func (c *RoundRobinChooser) Install(*Agent) {}
+
+// Install implements Policy (no agent facilities needed).
+func (SinglePathChooser) Install(*Agent) {}
+
+// Install implements Policy: the ECN chooser reads the agent's virtual
+// clock for its reroute cooldown.
+func (c *ECNChooser) Install(a *Agent) { c.clock = a.eng.Now }

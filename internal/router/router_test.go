@@ -44,7 +44,7 @@ func deployRouted(t *testing.T) (*core.Network, *router.Router, map[router.IP]pa
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := core.New(tp, core.DefaultConfig())
+	n, err := core.New(tp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -142,6 +142,19 @@ type Engine struct {
 	processed uint64
 	tracer    *trace.Recorder
 	metrics   *trace.Registry
+
+	// Sharding state. A standalone engine (NewEngine) has group == nil and
+	// behaves exactly as before; an engine created by NewShardedEngine is
+	// one shard of a ShardGroup and advances only inside the group's
+	// conservative time windows.
+	group *ShardGroup
+	shard int
+	// ownerGID is the goroutine ID of the worker currently executing this
+	// shard's window; maintained only when shard-affinity checks are on.
+	ownerGID int64
+	// crossMin is the earliest cross-shard arrival produced during the
+	// current window (dynamic solo-window bound); reset each window.
+	crossMin Time
 }
 
 // NewEngine creates an engine whose randomness is derived from seed.
@@ -149,11 +162,34 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed)), metrics: trace.NewRegistry()}
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+// Now returns the current virtual time. In a sharded run Now is shard-affine:
+// calling it from another shard's event handler is a determinism bug, and
+// panics when shard checks are enabled (-race builds or
+// DUMBNET_SHARD_CHECKS=1).
+func (e *Engine) Now() Time {
+	if e.group != nil {
+		e.checkAffinity("Now")
+	}
+	return e.now
+}
 
-// Rand returns the engine's deterministic random source.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+// Rand returns the engine's deterministic random source. Like Now, Rand is
+// shard-affine: each shard owns an independent seeded stream, and drawing
+// from another shard's stream would silently skew both schedules. Misuse
+// panics when shard checks are enabled.
+func (e *Engine) Rand() *rand.Rand {
+	if e.group != nil {
+		e.checkAffinity("Rand")
+	}
+	return e.rng
+}
+
+// Shard returns this engine's shard index within its group (0 for a
+// standalone engine).
+func (e *Engine) Shard() int { return e.shard }
+
+// Group returns the owning shard group, nil for a standalone engine.
+func (e *Engine) Group() *ShardGroup { return e.group }
 
 // SetTracer attaches a flight recorder. Every component holds the engine,
 // so this single hook wires tracing through the whole model; nil (the
@@ -177,8 +213,18 @@ func (e *Engine) Pending() int {
 	return len(e.events) + (len(e.bucket) - e.bucketPos)
 }
 
-// schedule enqueues one event (fn or h) at absolute time t.
+// schedule enqueues one event (fn or h) at absolute time t, enforcing shard
+// affinity in sharded runs.
 func (e *Engine) schedule(t Time, fn func(), h Handler) {
+	if e.group != nil {
+		e.checkAffinity("schedule")
+	}
+	e.enqueue(t, fn, h)
+}
+
+// enqueue is schedule without the affinity guard — the barrier merge calls
+// it from the driver goroutine while shard ownership is parked.
+func (e *Engine) enqueue(t Time, fn func(), h Handler) {
 	if t < e.now {
 		t = e.now
 	}
@@ -255,15 +301,26 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains.
+// Run executes events until the queue drains. For a sharded engine, Run
+// drives the whole group: every shard advances through conservative windows
+// until no shard holds an event.
 func (e *Engine) Run() {
+	if e.group != nil {
+		e.group.Run()
+		return
+	}
 	for e.Step() {
 	}
 }
 
 // RunUntil executes events with time <= deadline, then advances the clock to
-// the deadline. Events scheduled later stay queued.
+// the deadline. Events scheduled later stay queued. For a sharded engine it
+// advances the whole group to the deadline.
 func (e *Engine) RunUntil(deadline Time) {
+	if e.group != nil {
+		e.group.RunUntil(deadline)
+		return
+	}
 	for {
 		at, ok := e.nextEventTime()
 		if !ok || at > deadline {
@@ -278,3 +335,35 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // RunFor executes events for d nanoseconds of virtual time from now.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// runWindow executes this shard's events with time strictly before end.
+// The clock is left at the last executed event; the group advances it to
+// the window boundary only when a deadline requires it.
+func (e *Engine) runWindow(end Time) {
+	for {
+		at, ok := e.nextEventTime()
+		if !ok || at >= end {
+			return
+		}
+		e.Step()
+	}
+}
+
+// runWindowSolo is runWindow for a window in which every other shard is
+// idle: the bound tightens dynamically to crossMin+la — the earliest time
+// another shard could react to something this shard sent — letting a lone
+// active shard (bootstrap, discovery, a busy pod) run far past the static
+// lookahead without waking the workers.
+func (e *Engine) runWindowSolo(end, la Time) {
+	for {
+		limit := end
+		if e.crossMin < maxTime && e.crossMin+la < limit {
+			limit = e.crossMin + la
+		}
+		at, ok := e.nextEventTime()
+		if !ok || at >= limit {
+			return
+		}
+		e.Step()
+	}
+}

@@ -54,7 +54,9 @@ type LinkStats struct {
 
 // Impairment models a degraded cable: probabilistic frame loss, random
 // single-bit corruption, and bounded latency jitter. All randomness is drawn
-// from the owning engine's seeded source, so impaired runs stay reproducible.
+// from the transmitting end's seeded engine, so impaired runs stay
+// reproducible — in a sharded run each direction draws from its own shard's
+// stream.
 // The zero value is a clean link.
 type Impairment struct {
 	// LossProb is the per-frame probability of silent loss, in [0, 1].
@@ -70,9 +72,16 @@ func (imp Impairment) Active() bool {
 	return imp.LossProb > 0 || imp.CorruptProb > 0 || imp.JitterMax > 0
 }
 
+// linkEnd is one side of a link. Each end belongs to exactly one engine
+// (shard) and carries its own view of the link state: in a sharded run the
+// far side of a failing cable learns about the failure one propagation
+// delay later, exactly like real optics — and, conveniently, exactly within
+// the lookahead contract.
 type linkEnd struct {
+	eng  *Engine
 	node Node
 	port int
+	up   bool
 	// busyUntil is when the transmitter in this direction frees up.
 	busyUntil Time
 	stats     LinkStats
@@ -80,33 +89,63 @@ type linkEnd struct {
 
 // Link is a full-duplex point-to-point cable between two nodes. Each
 // direction has an independent transmitter with serialization delay and a
-// bounded queue.
+// bounded queue. A link may span two shards of a ShardGroup; it is then the
+// only legal communication channel between them, and its propagation delay
+// contributes to the group's lookahead.
 type Link struct {
-	eng  *Engine
 	cfg  LinkConfig
 	a, b linkEnd
-	up   bool
 	imp  Impairment
+	// cross is set when the two ends live on different engines.
+	cross bool
 	// flapGen invalidates previously scheduled flap toggles when bumped.
 	flapGen uint64
 }
 
-// NewLink wires aNode's aPort to bNode's bPort. The link starts up.
+// NewLink wires aNode's aPort to bNode's bPort on a single engine. The link
+// starts up.
 func NewLink(eng *Engine, aNode Node, aPort int, bNode Node, bPort int, cfg LinkConfig) *Link {
-	return &Link{
-		eng: eng,
-		cfg: cfg.withDefaults(),
-		a:   linkEnd{node: aNode, port: aPort},
-		b:   linkEnd{node: bNode, port: bPort},
-		up:  true,
-	}
+	return NewLinkBetween(eng, aNode, aPort, eng, bNode, bPort, cfg)
 }
 
-// Up reports link state.
-func (l *Link) Up() bool { return l.up }
+// NewLinkBetween wires aNode's aPort (living on engine engA) to bNode's
+// bPort (on engB). With engA == engB this is NewLink. With different
+// engines the two must be shards of the same ShardGroup, the propagation
+// delay must be positive, and the link registers itself as a cross-shard
+// edge, narrowing the group's lookahead window.
+func NewLinkBetween(engA *Engine, aNode Node, aPort int, engB *Engine, bNode Node, bPort int, cfg LinkConfig) *Link {
+	l := &Link{
+		cfg: cfg.withDefaults(),
+		a:   linkEnd{eng: engA, node: aNode, port: aPort, up: true},
+		b:   linkEnd{eng: engB, node: bNode, port: bPort, up: true},
+	}
+	if engA != engB {
+		if engA.group == nil || engA.group != engB.group {
+			panic("sim: NewLinkBetween across engines that are not shards of one group")
+		}
+		l.cross = true
+		engA.group.registerCrossLink(l.cfg.PropDelay)
+	}
+	return l
+}
+
+// Up reports link state: true only when both ends consider the cable live.
+func (l *Link) Up() bool { return l.a.up && l.b.up }
 
 // Ends returns the two (node, port) endpoints.
 func (l *Link) Ends() (Node, int, Node, int) { return l.a.node, l.a.port, l.b.node, l.b.port }
+
+// endFor returns the link end owned by node from; nil when from is not an
+// endpoint.
+func (l *Link) endFor(from Node) *linkEnd {
+	switch {
+	case from == l.a.node:
+		return &l.a
+	case from == l.b.node:
+		return &l.b
+	}
+	return nil
+}
 
 // StatsFrom returns the transmit stats for the direction originating at the
 // given node (true for endpoint A).
@@ -121,33 +160,46 @@ func (l *Link) StatsFrom(fromA bool) LinkStats {
 // originating at node from — the congestion signal an ECN-marking switch
 // reads from its output port.
 func (l *Link) Backlog(from Node) Time {
-	var tx *linkEnd
-	switch {
-	case from == l.a.node:
-		tx = &l.a
-	case from == l.b.node:
-		tx = &l.b
-	default:
+	tx := l.endFor(from)
+	if tx == nil {
 		return 0
 	}
-	if b := tx.busyUntil - l.eng.Now(); b > 0 {
+	if b := tx.busyUntil - tx.eng.Now(); b > 0 {
 		return b
 	}
 	return 0
 }
 
 // SetUp changes link state and notifies both endpoints that implement
-// PortMonitor, modelling the physical-layer signal both sides observe.
+// PortMonitor, modelling the physical-layer signal both sides observe. On a
+// single engine both ends flip in the same instant, exactly as before
+// sharding existed. On a cross-shard link flipped mid-run, the caller's side
+// (end A's shard — flap timers and fault injectors live there) flips now and
+// the far side flips one lookahead later, the soonest a remote shard may
+// observe anything.
 func (l *Link) SetUp(up bool) {
-	if l.up == up {
+	l.setEndUp(&l.a, up)
+	if l.cross {
+		if g := l.a.eng.group; g != nil && g.running.Load() {
+			b := &l.b
+			at := l.a.eng.now + g.lookahead
+			l.a.eng.crossSchedule(b.eng, at, func() { l.setEndUp(b, up) }, nil)
+			return
+		}
+	}
+	l.setEndUp(&l.b, up)
+}
+
+// setEndUp flips one end's view of the link and notifies its monitor on its
+// own engine.
+func (l *Link) setEndUp(end *linkEnd, up bool) {
+	if end.up == up {
 		return
 	}
-	l.up = up
-	for _, end := range []*linkEnd{&l.a, &l.b} {
-		if mon, ok := end.node.(PortMonitor); ok {
-			port := end.port
-			l.eng.After(0, func() { mon.PortStateChanged(port, up) })
-		}
+	end.up = up
+	if mon, ok := end.node.(PortMonitor); ok {
+		port := end.port
+		end.eng.After(0, func() { mon.PortStateChanged(port, up) })
 	}
 }
 
@@ -167,24 +219,26 @@ func (l *Link) Impairment() Impairment { return l.imp }
 // StartFlap schedules cycles of down/up toggles: after an initial delay the
 // link goes down for downFor, comes back for upFor, and repeats, cycles
 // times. A later StartFlap or StopFlap cancels any toggles still scheduled.
+// Flap timers run on end A's engine.
 func (l *Link) StartFlap(after, downFor, upFor Time, cycles int) {
 	l.flapGen++
 	gen := l.flapGen
+	eng := l.a.eng
 	var cycle func(remaining int)
 	cycle = func(remaining int) {
 		if gen != l.flapGen || remaining <= 0 {
 			return
 		}
 		l.SetUp(false)
-		l.eng.After(downFor, func() {
+		eng.After(downFor, func() {
 			if gen != l.flapGen {
 				return
 			}
 			l.SetUp(true)
-			l.eng.After(upFor, func() { cycle(remaining - 1) })
+			eng.After(upFor, func() { cycle(remaining - 1) })
 		})
 	}
-	l.eng.After(after, func() { cycle(cycles) })
+	eng.After(after, func() { cycle(cycles) })
 }
 
 // StopFlap cancels scheduled flap toggles. The link keeps its current state;
@@ -193,24 +247,23 @@ func (l *Link) StopFlap() { l.flapGen++ }
 
 // deliverEvent carries one in-flight frame to its receiving endpoint. The
 // structs are pooled so per-frame delivery costs no heap allocation — the
-// dominant event type in any traffic-carrying simulation.
+// dominant event type in any traffic-carrying simulation. The event runs on
+// the receiving end's engine.
 type deliverEvent struct {
-	link  *Link
-	dst   Node
-	port  int
+	rx    *linkEnd
 	frame []byte
 }
 
 var deliverPool = sync.Pool{New: func() any { return new(deliverEvent) }}
 
 func (d *deliverEvent) RunEvent() {
-	link, dst, port, frame := d.link, d.dst, d.port, d.frame
+	rx, frame := d.rx, d.frame
 	*d = deliverEvent{}
 	deliverPool.Put(d)
-	if !link.up {
+	if !rx.up {
 		return // link died while the frame was in flight
 	}
-	dst.Receive(port, frame)
+	rx.node.Receive(rx.port, frame)
 }
 
 // sendEvent defers a SendFrom by a pipeline delay (switch forwarding, host
@@ -231,22 +284,29 @@ func (s *sendEvent) RunEvent() {
 }
 
 // SendFromAfter schedules SendFrom(from, frame) after d nanoseconds of
-// virtual time. It is the hot-path form used by switch forwarding and host
-// encapsulation: the deferral is a pooled typed event, so it performs no
-// per-frame allocation where an equivalent closure would.
+// virtual time on the sending end's engine. It is the hot-path form used by
+// switch forwarding and host encapsulation: the deferral is a pooled typed
+// event, so it performs no per-frame allocation where an equivalent closure
+// would.
 func (l *Link) SendFromAfter(from Node, frame []byte, d Time) {
+	tx := l.endFor(from)
+	if tx == nil {
+		panic("sim: SendFromAfter by non-endpoint node")
+	}
 	s := sendPool.Get().(*sendEvent)
 	s.link, s.from, s.frame = l, from, frame
-	l.eng.AfterEvent(d, s)
+	tx.eng.AfterEvent(d, s)
 }
 
 // SendFrom transmits a frame from the endpoint owned by node `from` (which
 // must be one of the link's endpoints; sends from elsewhere panic — that is
 // a wiring bug, not a runtime condition). The frame buffer is owned by the
-// link after the call.
+// link after the call. Timing, randomness, and stats all come from the
+// transmitting end's engine; delivery is scheduled on the receiving end's
+// engine, crossing the shard boundary through the group's outbox when the
+// two differ.
 func (l *Link) SendFrom(from Node, frame []byte) {
-	var tx *linkEnd
-	var rx *linkEnd
+	var tx, rx *linkEnd
 	switch {
 	case from == l.a.node:
 		tx, rx = &l.a, &l.b
@@ -255,30 +315,31 @@ func (l *Link) SendFrom(from Node, frame []byte) {
 	default:
 		panic("sim: SendFrom by non-endpoint node")
 	}
-	if !l.up {
+	eng := tx.eng
+	if !tx.up {
 		tx.stats.DownTx++
-		l.eng.tracer.PacketDrop(int64(l.eng.Now()), 0, trace.DropLinkDownTx, frame)
+		eng.tracer.PacketDrop(int64(eng.Now()), 0, trace.DropLinkDownTx, frame)
 		return
 	}
-	if l.imp.LossProb > 0 && l.eng.Rand().Float64() < l.imp.LossProb {
+	if l.imp.LossProb > 0 && eng.Rand().Float64() < l.imp.LossProb {
 		tx.stats.ImpairLost++
-		l.eng.tracer.PacketDrop(int64(l.eng.Now()), 0, trace.DropImpairLoss, frame)
+		eng.tracer.PacketDrop(int64(eng.Now()), 0, trace.DropImpairLoss, frame)
 		return
 	}
-	if l.imp.CorruptProb > 0 && len(frame) > 0 && l.eng.Rand().Float64() < l.imp.CorruptProb {
-		i := l.eng.Rand().Intn(len(frame))
-		frame[i] ^= 1 << uint(l.eng.Rand().Intn(8))
+	if l.imp.CorruptProb > 0 && len(frame) > 0 && eng.Rand().Float64() < l.imp.CorruptProb {
+		i := eng.Rand().Intn(len(frame))
+		frame[i] ^= 1 << uint(eng.Rand().Intn(8))
 		tx.stats.ImpairCorrupt++
-		l.eng.tracer.PacketDrop(int64(l.eng.Now()), 0, trace.CorruptImpair, frame)
+		eng.tracer.PacketDrop(int64(eng.Now()), 0, trace.CorruptImpair, frame)
 	}
-	now := l.eng.Now()
+	now := eng.Now()
 	start := tx.busyUntil
 	if start < now {
 		start = now
 	}
 	if start-now > l.cfg.MaxBacklog {
 		tx.stats.Drops++
-		l.eng.tracer.PacketDrop(int64(now), 0, trace.DropQueueOverflow, frame)
+		eng.tracer.PacketDrop(int64(now), 0, trace.DropQueueOverflow, frame)
 		return
 	}
 	var txTime Time
@@ -291,10 +352,10 @@ func (l *Link) SendFrom(from Node, frame []byte) {
 	tx.stats.Bytes += uint64(len(frame))
 	deliverAt := tx.busyUntil + l.cfg.PropDelay
 	if l.imp.JitterMax > 0 {
-		deliverAt += Time(l.eng.Rand().Int63n(int64(l.imp.JitterMax) + 1))
+		deliverAt += Time(eng.Rand().Int63n(int64(l.imp.JitterMax) + 1))
 		tx.stats.Jittered++
 	}
 	d := deliverPool.Get().(*deliverEvent)
-	d.link, d.dst, d.port, d.frame = l, rx.node, rx.port, frame
-	l.eng.AtEvent(deliverAt, d)
+	d.rx, d.frame = rx, frame
+	eng.crossSchedule(rx.eng, deliverAt, nil, d)
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the binary was built with -race. Shard
+// affinity checks are always on under the race detector.
+const raceEnabled = true

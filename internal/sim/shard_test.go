@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pingNode is a minimal Node that echoes every frame back on the link it
+// arrived on, after a small processing delay, and hashes what it sees. Used
+// to generate genuine cross-shard traffic.
+type pingNode struct {
+	eng   *Engine
+	link  *Link
+	seen  uint64
+	hash  uint64
+	limit int
+}
+
+func (p *pingNode) Receive(port int, frame []byte) {
+	p.seen++
+	for _, b := range frame {
+		p.hash = p.hash*1099511628211 + uint64(b)
+	}
+	p.hash = p.hash*31 + uint64(p.eng.Now())
+	if int(p.seen) >= p.limit {
+		return
+	}
+	// Echo with a jittered local delay drawn from this shard's rng.
+	d := Time(p.eng.Rand().Int63n(int64(10 * Microsecond)))
+	frame = append(frame[:0:0], frame...)
+	p.link.SendFromAfter(p, frame, d)
+}
+
+// buildPingPair wires two pingNodes across shards 0 and 1 of a group (or on
+// one engine when g has a single shard) and starts an exchange.
+func buildPingPair(g *ShardGroup, limit int) (*pingNode, *pingNode) {
+	ea := g.Shard(0)
+	eb := g.Shard(g.NumShards() - 1)
+	a := &pingNode{eng: ea, limit: limit}
+	b := &pingNode{eng: eb, limit: limit}
+	l := NewLinkBetween(ea, a, 0, eb, b, 0, LinkConfig{PropDelay: 50 * Microsecond, BandwidthBps: 1e9})
+	a.link, b.link = l, l
+	ea.At(0, func() { l.SendFrom(a, []byte{1, 2, 3, 4}) })
+	return a, b
+}
+
+func TestShardedPingDeterministic(t *testing.T) {
+	run := func(shards int) (uint64, uint64, uint64) {
+		g := NewShardedEngine(7, Shards(shards))
+		defer g.Close()
+		a, b := buildPingPair(g, 200)
+		g.Run()
+		return a.hash, b.hash, g.Processed()
+	}
+	h1a, h1b, p1 := run(2)
+	h2a, h2b, p2 := run(2)
+	if h1a != h2a || h1b != h2b || p1 != p2 {
+		t.Fatalf("sharded run not reproducible: (%x,%x,%d) vs (%x,%x,%d)", h1a, h1b, p1, h2a, h2b, p2)
+	}
+	if p1 == 0 {
+		t.Fatal("no events processed")
+	}
+}
+
+// TestShardGroupSingleShardMatchesEngine verifies that a one-shard group
+// replays exactly the same schedule as a standalone engine with the same
+// seed: same rng stream, same event count, same hash.
+func TestShardGroupSingleShardMatchesEngine(t *testing.T) {
+	runOn := func(e *Engine, runAll func()) (uint64, uint64) {
+		var hash uint64
+		var count uint64
+		var tick func()
+		tick = func() {
+			count++
+			hash = hash*1099511628211 + uint64(e.Rand().Int63())
+			hash = hash*31 + uint64(e.Now())
+			if count < 500 {
+				e.After(Time(e.Rand().Int63n(int64(Millisecond))), tick)
+			}
+		}
+		e.At(0, tick)
+		runAll()
+		return hash, count
+	}
+	plain := NewEngine(99)
+	h1, c1 := runOn(plain, plain.Run)
+	g := NewShardedEngine(99, Shards(1))
+	defer g.Close()
+	h2, c2 := runOn(g.Shard(0), g.Run)
+	if h1 != h2 || c1 != c2 {
+		t.Fatalf("single-shard group diverges from standalone engine: (%x,%d) vs (%x,%d)", h1, c1, h2, c2)
+	}
+}
+
+// TestShardedCrossOrdering checks the deterministic merge: many cross-shard
+// events landing at identical times from different source shards must be
+// executed in (time, source shard, production order) order at the receiver.
+func TestShardedCrossOrdering(t *testing.T) {
+	const senders = 3
+	g := NewShardedEngine(1, Shards(senders+1))
+	defer g.Close()
+	rxEng := g.Shard(0)
+
+	var order []string
+	rx := &funcNode{fn: func(port int, frame []byte) {
+		order = append(order, fmt.Sprintf("%d@%d", frame[0], rxEng.Now()))
+	}}
+	// Each sender shard fires two frames at the same instant over identical
+	// links, so all arrivals collide at one virtual time.
+	for s := 1; s <= senders; s++ {
+		eng := g.Shard(s)
+		tag := byte(s)
+		txNode := &funcNode{}
+		l := NewLinkBetween(eng, txNode, 0, rxEng, rx, s, LinkConfig{PropDelay: Millisecond})
+		eng.At(0, func() {
+			l.SendFrom(txNode, []byte{tag, 1})
+			l.SendFrom(txNode, []byte{tag, 2})
+		})
+	}
+	g.Run()
+	want := []string{"1@1000000", "1@1000000", "2@1000000", "2@1000000", "3@1000000", "3@1000000"}
+	if len(order) != len(want) {
+		t.Fatalf("got %d arrivals, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("arrival %d = %s, want %s (full: %v)", i, order[i], want[i], order)
+		}
+	}
+}
+
+// funcNode is a comparable Node wrapping a callback (SendFrom identifies
+// endpoints by ==, so a bare func type won't do).
+type funcNode struct {
+	fn func(port int, frame []byte)
+}
+
+func (f *funcNode) Receive(port int, frame []byte) {
+	if f.fn != nil {
+		f.fn(port, frame)
+	}
+}
+
+// TestShardedRunUntilClampsClocks verifies that after RunUntil all shards sit
+// at the deadline even if some never executed an event.
+func TestShardedRunUntilClampsClocks(t *testing.T) {
+	g := NewShardedEngine(3, Shards(4))
+	defer g.Close()
+	g.Shard(1).At(2*Millisecond, func() {})
+	g.RunUntil(10 * Millisecond)
+	for i := 0; i < g.NumShards(); i++ {
+		if now := g.Shard(i).Now(); now != 10*Millisecond {
+			t.Fatalf("shard %d clock = %v, want 10ms", i, now)
+		}
+	}
+	if g.Now() != 10*Millisecond {
+		t.Fatalf("group clock = %v", g.Now())
+	}
+}
+
+// TestCrossLinkLookaheadValidation: a cross-shard link with zero propagation
+// delay must be rejected — it would collapse the conservative window.
+func TestCrossLinkLookaheadValidation(t *testing.T) {
+	g := NewShardedEngine(1, Shards(2))
+	defer g.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-delay cross-shard link accepted")
+		}
+	}()
+	NewLinkBetween(g.Shard(0), &funcNode{}, 0, g.Shard(1), &funcNode{}, 0, LinkConfig{})
+}
+
+// TestCrossLinkUnrelatedEngines: linking two standalone engines is a wiring
+// bug and must panic.
+func TestCrossLinkUnrelatedEngines(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("link across unrelated engines accepted")
+		}
+	}()
+	NewLinkBetween(NewEngine(1), &funcNode{}, 0, NewEngine(2), &funcNode{}, 0, LinkConfig{PropDelay: Millisecond})
+}
+
+// TestShardAffinityGuard: with checks enabled, touching another shard's
+// engine from inside a window must panic rather than race.
+func TestShardAffinityGuard(t *testing.T) {
+	if !shardDebug {
+		old := shardDebug
+		shardDebug = true
+		defer func() { shardDebug = old }()
+	}
+	g := NewShardedEngine(5, Shards(2))
+	defer g.Close()
+	// Force concurrent windows with a cross link so both shards are active.
+	a, b := buildPingPair(g, 50)
+	_ = a
+	_ = b
+	var caught any
+	// Shard 1's handler illegally reads shard 0's clock.
+	g.Shard(1).At(10*Microsecond, func() {
+		defer func() { caught = recover() }()
+		g.Shard(0).Now()
+	})
+	// Keep shard 0 busy in the same window so it is worker-owned.
+	g.Shard(0).At(10*Microsecond, func() {})
+	g.RunUntil(20 * Microsecond)
+	if caught == nil {
+		t.Fatal("cross-shard Now() did not panic with shard checks on")
+	}
+}
+
+// TestShardedSetUpCrossLink: failing a cross-shard link mid-run drops
+// in-flight traffic without deadlock, and restoring it lets traffic resume.
+func TestShardedSetUpCrossLink(t *testing.T) {
+	g := NewShardedEngine(11, Shards(2))
+	defer g.Close()
+	a, b := buildPingPair(g, 1<<30)
+	link := a.link
+	// Flap from shard A's timeline, like StartFlap does.
+	g.Shard(0).At(5*Millisecond, func() { link.SetUp(false) })
+	g.Shard(0).At(10*Millisecond, func() { link.SetUp(true) })
+	g.RunUntil(8 * Millisecond)
+	seenDown := a.seen + b.seen
+	g.RunUntil(9 * Millisecond)
+	if a.seen+b.seen != seenDown {
+		t.Fatalf("traffic flowed over a failed link: %d -> %d", seenDown, a.seen+b.seen)
+	}
+	// After restore the conversation is dead (frames were dropped, nobody
+	// retries in this toy), so just assert the link is usable again.
+	g.Shard(0).At(12*Millisecond, func() { link.SendFrom(a, []byte{9}) })
+	g.RunUntil(20 * Millisecond)
+	if a.seen+b.seen == seenDown {
+		t.Fatal("restored link delivered nothing")
+	}
+}
+
+// TestShardedSoloFastPath: a run where only one shard ever has events should
+// still complete and stay bounded by cross arrivals it produces itself.
+func TestShardedSoloFastPath(t *testing.T) {
+	g := NewShardedEngine(2, Shards(3))
+	defer g.Close()
+	e := g.Shard(2)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 1000 {
+			e.After(Microsecond, tick)
+		}
+	}
+	e.At(0, func() { tick() })
+	g.Run()
+	if count != 1000 {
+		t.Fatalf("solo shard ran %d/1000 ticks", count)
+	}
+	if g.Processed() != 1000 {
+		t.Fatalf("processed %d", g.Processed())
+	}
+}
+
+func BenchmarkShardGroupPingPong(b *testing.B) {
+	g := NewShardedEngine(1, Shards(2))
+	defer g.Close()
+	a, _ := buildPingPair(g, 1<<30)
+	_ = a
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.RunFor(100 * Microsecond)
+	}
+}

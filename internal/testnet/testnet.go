@@ -24,6 +24,9 @@ type Options struct {
 	// SkipBootstrap leaves hosts unbootstrapped (for discovery tests that
 	// bring the network up from scratch).
 	SkipBootstrap bool
+	// Shards deploys on a parallel sharded engine group; <= 1 keeps the
+	// classic single-engine deployment.
+	Shards int
 }
 
 // DefaultOptions mirrors the prototype deployment.
@@ -38,7 +41,11 @@ func DefaultOptions() Options {
 
 // Net is a deployed network.
 type Net struct {
+	// Eng is the home engine: the only engine in a single-engine run, the
+	// controller's shard in a sharded one (Run/RunFor on it drain the whole
+	// group either way).
 	Eng    *sim.Engine
+	Group  *sim.ShardGroup // nil unless Options.Shards > 1
 	Topo   *topo.Topology
 	Fab    *fabric.Fabric
 	Ctrl   *controller.Controller
@@ -52,8 +59,20 @@ type Net struct {
 // set, the controller's master view is installed directly (as if discovery
 // had run) and hello patches are delivered.
 func Build(t *topo.Topology, opts Options) (*Net, error) {
-	eng := sim.NewEngine(opts.Seed)
-	fab, err := fabric.Build(eng, t, opts.Fabric)
+	var (
+		eng   *sim.Engine
+		group *sim.ShardGroup
+		fab   *fabric.Fabric
+		err   error
+	)
+	if opts.Shards > 1 {
+		group = sim.NewShardedEngine(opts.Seed, sim.Shards(opts.Shards))
+		part := topo.PartitionShards(t, opts.Shards)
+		fab, err = fabric.BuildSharded(group, t, opts.Fabric, part)
+	} else {
+		eng = sim.NewEngine(opts.Seed)
+		fab, err = fabric.Build(eng, t, opts.Fabric)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -62,13 +81,17 @@ func Build(t *topo.Topology, opts Options) (*Net, error) {
 		return nil, fmt.Errorf("testnet: topology has no hosts")
 	}
 	n := &Net{
-		Eng:    eng,
+		Group:  group,
 		Topo:   t,
 		Fab:    fab,
 		Agents: make(map[packet.MAC]*host.Agent, len(hosts)),
 	}
 	for i, at := range hosts {
-		agent := host.New(eng, at.Host, opts.Host)
+		heng := eng
+		if group != nil {
+			heng = fab.EngineFor(at.Switch)
+		}
+		agent := host.New(heng, at.Host, opts.Host)
 		l, err := fab.AttachHost(at.Host, agent)
 		if err != nil {
 			return nil, err
@@ -76,7 +99,8 @@ func Build(t *topo.Topology, opts Options) (*Net, error) {
 		agent.SetUplink(l)
 		n.Agents[at.Host] = agent
 		if i == 0 {
-			n.Ctrl = controller.New(eng, agent, opts.Controller)
+			n.Ctrl = controller.New(heng, agent, opts.Controller)
+			n.Eng = heng
 		} else {
 			n.Hosts = append(n.Hosts, at.Host)
 		}
@@ -86,7 +110,7 @@ func Build(t *topo.Topology, opts Options) (*Net, error) {
 		if err := n.Ctrl.Bootstrap(); err != nil {
 			return nil, err
 		}
-		eng.Run() // deliver hellos
+		n.Eng.Run() // deliver hellos
 	}
 	return n, nil
 }

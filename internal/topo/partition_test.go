@@ -1,0 +1,76 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionShardsCoversAndBalances(t *testing.T) {
+	ft, err := FatTree(8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		part := PartitionShards(ft, n)
+		if len(part) != ft.NumSwitches() {
+			t.Fatalf("n=%d: %d/%d switches assigned", n, len(part), ft.NumSwitches())
+		}
+		sizes, cross := PartitionStats(ft, part)
+		if len(sizes) > n {
+			t.Fatalf("n=%d: %d shards used", n, len(sizes))
+		}
+		min, max := ft.NumSwitches(), 0
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		// Cap is ceil(S/n); perfect balance within one cap unit.
+		if max > (ft.NumSwitches()+n-1)/n {
+			t.Fatalf("n=%d: shard sizes %v exceed cap", n, sizes)
+		}
+		if n > 1 && cross == 0 {
+			t.Fatalf("n=%d: no cross-shard links on a connected fat-tree", n)
+		}
+		t.Logf("n=%d sizes=%v crossLinks=%d", n, sizes, cross)
+	}
+}
+
+func TestPartitionShardsDeterministic(t *testing.T) {
+	ft, err := FatTree(4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := PartitionShards(ft, 4)
+	b := PartitionShards(ft, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("partition is not deterministic")
+	}
+}
+
+// TestPartitionShardsPodLocality: on a fat-tree with one shard per pod, each
+// pod's edge and agg switches should mostly land together — host uplinks
+// (edge-switch attachments) must never straddle shards, since hosts are
+// pinned to their edge switch's shard.
+func TestPartitionShardsPodLocality(t *testing.T) {
+	ft, err := FatTree(4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := PartitionShards(ft, 4)
+	// Every host's attachment switch has an assignment (hosts follow it).
+	for _, h := range ft.Hosts() {
+		if _, ok := part[h.Switch]; !ok {
+			t.Fatalf("host %v edge switch %d unassigned", h.Host, h.Switch)
+		}
+	}
+	_, cross := PartitionStats(ft, part)
+	total := ft.NumLinks() - ft.NumHosts()
+	if cross >= total {
+		t.Fatalf("all %d switch links cross shards — no locality at all", total)
+	}
+	t.Logf("cross links: %d / %d", cross, total)
+}
