@@ -16,6 +16,7 @@ import (
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
 	"dumbnet/internal/trace"
+	"dumbnet/internal/vnet"
 )
 
 // Machine-readable benchmark emission (BENCH_results.json). Each invocation
@@ -200,6 +201,36 @@ func microBenches() []struct {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := svc.LookupWire(src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The tenant variant probes the per-tenant route cache: a warm hit
+		// must match the untenanted warm path at 0 allocs/op even though it
+		// also validates four freshness tokens against the vnet manager.
+		{"TenantPathRequestWarm", func(b *testing.B) {
+			tp, err := topo.FatTree(8, 2, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := sim.NewEngine(1)
+			hosts := tp.Hosts()
+			c := controller.New(eng, host.New(eng, hosts[0].Host, host.DefaultConfig()), controller.DefaultConfig())
+			c.SetMaster(tp)
+			m := vnet.NewManager(tp, topo.PathGraphOptions{}, 1)
+			members := []packet.MAC{hosts[1].Host, hosts[2].Host, hosts[3].Host}
+			if _, err := m.CreateTenant("bench", members); err != nil {
+				b.Fatal(err)
+			}
+			c.SetVirtualization(vnet.ControllerAdapter{M: m})
+			svc := c.Routes()
+			if _, err := svc.LookupTenantWire("bench", members[0], members[2]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.LookupTenantWire("bench", members[0], members[2]); err != nil {
 					b.Fatal(err)
 				}
 			}

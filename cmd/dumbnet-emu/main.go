@@ -60,6 +60,8 @@ func main() {
 		stats    = flag.Bool("stats", false, "query per-switch counters at the end")
 		policy   = flag.String("policy", "", "host routing policy: "+strings.Join(host.PolicyNames(), "|")+" (default: sticky)")
 		shards   = flag.Int("shards", 1, "parallel simulation shards (1 = classic single-engine run)")
+		tenants  = flag.Int("tenants", 0, "carve hosts into this many isolated tenants (0 = virtualization off)")
+		hflood   = flag.Bool("host-flood", true, "stage-1 peer-to-peer link-event flooding on hosts (disable on very large fabrics: the flood is O(hosts²) frames per event)")
 
 		chaosOn   = flag.Bool("chaos", false, "run a seeded chaos scenario after bringup")
 		chaosSeed = flag.Int64("chaos-seed", 1, "chaos scenario seed (same seed, same event trace)")
@@ -69,6 +71,8 @@ func main() {
 		flap      = flag.Bool("flap", true, "include link-flap events in the chaos mix")
 		crashSw   = flag.Bool("crash-switches", true, "include switch crash/restart events in the chaos mix")
 		ctrlCrash = flag.Bool("ctrl-crash", false, "crash the primary controller mid-chaos (attaches 2 replicas)")
+		churn     = flag.Bool("churn", false, "interleave tenant create/delete/migrate events into the chaos mix (needs -tenants)")
+		checkCap  = flag.Int("check-cap", 0, "cap post-chaos pair sweeps at this many host pairs (0 = exhaustive)")
 
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON flight-recorder dump to this file")
 		traceSample = flag.Uint64("trace-sample", 1, "packet-hop sampling: record flows where hash%N==0 (0 disables hop records)")
@@ -127,6 +131,12 @@ func main() {
 	if *policy != "" {
 		opts = append(opts, core.WithPolicy(*policy))
 	}
+	if *tenants > 0 || *churn {
+		opts = append(opts, core.WithTenants(*tenants))
+	}
+	if !*hflood {
+		opts = append(opts, core.WithHostFlood(false))
+	}
 	net, err := core.New(t, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -175,11 +185,27 @@ func main() {
 		fmt.Println("not enough hosts for traffic")
 		os.Exit(0)
 	}
-	// Sample a few pairs spread across the host list.
+	if v := net.Vnet(); v != nil {
+		fmt.Printf("virtualization: %d tenants over %d hosts\n", v.Count(), len(hosts))
+	}
+	// Sample a few pairs spread across the host list. With tenancy on, the
+	// slices are the traffic domains, so sample inside the first tenant.
 	pairs := [][2]core.MAC{
 		{hosts[0], hosts[len(hosts)-1]},
 		{hosts[len(hosts)/2], hosts[0]},
 		{hosts[len(hosts)-1], hosts[len(hosts)/2]},
+	}
+	if v := net.Vnet(); v != nil && v.Count() > 0 {
+		ids := v.Tenants()
+		members, err := v.Members(ids[0])
+		if err != nil || len(members) < 2 {
+			log.Fatalf("tenant %s has no usable member pair", ids[0])
+		}
+		pairs = [][2]core.MAC{
+			{members[0], members[len(members)-1]},
+			{members[len(members)/2], members[0]},
+			{members[len(members)-1], members[len(members)/2]},
+		}
 	}
 	for _, pr := range pairs {
 		for i := 0; i < *pings; i++ {
@@ -239,8 +265,10 @@ func main() {
 		ccfg.Flap = *flap
 		ccfg.CrashSwitches = *crashSw
 		ccfg.CrashController = *ctrlCrash
-		fmt.Printf("\nchaos: seed %d, %d events, loss %.3f, corrupt %.3f, flap %v, crash-switches %v, ctrl-crash %v\n",
-			*chaosSeed, *chaosEvts, *loss, *corrupt, *flap, *crashSw, *ctrlCrash)
+		ccfg.TenantChurn = *churn
+		ccfg.MaxPairChecks = *checkCap
+		fmt.Printf("\nchaos: seed %d, %d events, loss %.3f, corrupt %.3f, flap %v, crash-switches %v, ctrl-crash %v, churn %v\n",
+			*chaosSeed, *chaosEvts, *loss, *corrupt, *flap, *crashSw, *ctrlCrash, *churn)
 		rep, err := chaos.Run(net, ccfg)
 		if err != nil {
 			log.Fatalf("chaos: %v", err)
@@ -248,6 +276,7 @@ func main() {
 		for _, e := range rep.Trace {
 			fmt.Printf("  %v\n", e)
 		}
+		fmt.Printf("chaos: event digest %016x\n", rep.Digest())
 		fmt.Print(net.Eng.Metrics().Snapshot(int64(net.Eng.Now())).Table("fabric metrics (non-zero)", true))
 		if s := rep.TimelineSummary(); s != "" {
 			fmt.Print(s)
@@ -265,7 +294,7 @@ func main() {
 	}
 
 	if *iperf > 0 {
-		src, dst := hosts[0], hosts[len(hosts)-1]
+		src, dst := pairs[0][0], pairs[0][1]
 		fmt.Printf("\niperf %v -> %v for %v:\n", src, dst, *iperf)
 		const frame = 1464
 		received := 0

@@ -13,6 +13,7 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
 	"dumbnet/internal/trace"
+	"dumbnet/internal/vnet"
 )
 
 // Config tunes a chaos scenario.
@@ -55,6 +57,17 @@ type Config struct {
 	// Deadline bounds, per host pair, how long connectivity may take to
 	// re-converge during the check phase.
 	Deadline sim.Time
+	// TenantChurn interleaves tenant-lifecycle events (create-tenant,
+	// delete-tenant, migrate-host) with the fault kinds, and arms the
+	// isolation invariants. Requires the target to have a vnet.Manager
+	// (core.WithTenants — 0 is enough; churn creates tenants itself).
+	TenantChurn bool
+	// TenantSize is how many free hosts a churn-created tenant claims.
+	TenantSize int
+	// MaxPairChecks caps how many host pairs the post-heal connectivity and
+	// route-service sweeps examine (deterministic stride sampling). 0 checks
+	// every pair; large fabrics set a cap to bound check time.
+	MaxPairChecks int
 }
 
 // DefaultConfig is the standard scenario: ~1% loss, flapping, switch
@@ -87,15 +100,21 @@ func (c Config) withDefaults() Config {
 	if c.Deadline <= 0 {
 		c.Deadline = 2 * sim.Second
 	}
+	if c.TenantSize <= 0 {
+		c.TenantSize = 3
+	}
 	return c
 }
 
-// Event is one entry in the scenario trace.
+// Event is one entry in the scenario trace. The struct stays comparable
+// (==) so TraceEqual and the determinism digest work field-for-field.
 type Event struct {
-	At   sim.Time
-	Kind string
-	A, B packet.SwitchID // link events
-	Sw   packet.SwitchID // switch events
+	At     sim.Time
+	Kind   string
+	A, B   packet.SwitchID // link events
+	Sw     packet.SwitchID // switch events
+	Tenant string          // tenant-lifecycle events
+	Host   packet.MAC      // migrate-host: the host that moved in
 }
 
 // String renders the event compactly.
@@ -105,6 +124,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v %s %d<->%d", e.At, e.Kind, e.A, e.B)
 	case "crash-switch", "restart-switch":
 		return fmt.Sprintf("%v %s %d", e.At, e.Kind, e.Sw)
+	case "create-tenant", "delete-tenant":
+		return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Tenant)
+	case "migrate-host":
+		return fmt.Sprintf("%v %s %s -> %v", e.At, e.Kind, e.Tenant, e.Host)
 	default:
 		return fmt.Sprintf("%v %s", e.At, e.Kind)
 	}
@@ -138,6 +161,22 @@ type Report struct {
 
 // Ok reports whether every invariant held.
 func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Digest folds the event trace into one comparable value — the determinism
+// golden: two same-seed runs must produce identical digests.
+func (r *Report) Digest() uint64 {
+	h := uint64(1469598103934665603) // FNV-1a
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+		h = (h ^ '\n') * 1099511628211
+	}
+	for _, e := range r.Trace {
+		mix(e.String())
+	}
+	return h
+}
 
 // TimelineSummary renders the recovery timelines as a human-readable block
 // ("" when no tracer was attached).
@@ -191,6 +230,11 @@ type runner struct {
 	ctrlDown  bool
 	baseline  *topo.Topology // master view before any fault was injected
 
+	// tenant churn state: the virtualization manager (nil disables all
+	// tenancy invariants) and a counter naming churn-created tenants.
+	mgr       *vnet.Manager
+	tenantSeq int
+
 	rep *Report
 }
 
@@ -204,6 +248,9 @@ func Run(n Target, cfg Config) (*Report, error) {
 	if cfg.CrashController && n.Group() == nil {
 		return nil, fmt.Errorf("chaos: CrashController requires controller replication")
 	}
+	if cfg.TenantChurn && n.Vnet() == nil {
+		return nil, fmt.Errorf("chaos: TenantChurn requires network virtualization (core.WithTenants)")
+	}
 	r := &runner{
 		n:         n,
 		cfg:       cfg,
@@ -213,6 +260,7 @@ func Run(n Target, cfg Config) (*Report, error) {
 		flap:      make(map[pair]bool),
 		crashed:   make(map[packet.SwitchID]bool),
 		protected: make(map[packet.SwitchID]bool),
+		mgr:       n.Vnet(),
 		rep:       &Report{},
 	}
 	for _, id := range n.Topology().SwitchIDs() {
@@ -260,6 +308,7 @@ func Run(n Target, cfg Config) (*Report, error) {
 		gap := r.cfg.MeanGap/2 + sim.Time(r.rng.Int63n(int64(r.cfg.MeanGap)))
 		n.RunFor(gap)
 		r.auditRouteCache()
+		r.auditTenantViews()
 	}
 
 	r.healAll()
@@ -293,6 +342,12 @@ func scenarioOpFor(kind string) trace.ScenarioOp {
 		return trace.ScenarioRestartCtrl
 	case "heal-all":
 		return trace.ScenarioHealAll
+	case "create-tenant":
+		return trace.ScenarioCreateTenant
+	case "delete-tenant":
+		return trace.ScenarioDeleteTenant
+	case "migrate-host":
+		return trace.ScenarioMigrateHost
 	}
 	return trace.ScenarioIdle
 }
@@ -401,9 +456,18 @@ func (r *runner) step() {
 		actFlap
 		actCrash
 		actRestart
+		actCreateTenant
+		actDeleteTenant
+		actMigrateHost
 	)
+	// The roll widens only when churn is on, so existing seeds replay the
+	// identical fault stream with tenancy disabled.
 	var preferred action
-	switch roll := r.rng.Intn(10); {
+	sides := 10
+	if r.cfg.TenantChurn {
+		sides = 13
+	}
+	switch roll := r.rng.Intn(sides); {
 	case roll < 4:
 		preferred = actFail
 	case roll < 6:
@@ -412,10 +476,19 @@ func (r *runner) step() {
 		preferred = actFlap
 	case roll < 9:
 		preferred = actCrash
-	default:
+	case roll < 10:
 		preferred = actRestart
+	case roll < 11:
+		preferred = actCreateTenant
+	case roll < 12:
+		preferred = actDeleteTenant
+	default:
+		preferred = actMigrateHost
 	}
 	order := []action{preferred, actFail, actHeal, actFlap, actCrash, actRestart}
+	if r.cfg.TenantChurn {
+		order = append(order, actCreateTenant, actDeleteTenant, actMigrateHost)
+	}
 	for _, act := range order {
 		switch act {
 		case actFail:
@@ -471,13 +544,192 @@ func (r *runner) step() {
 				r.record("restart-switch", pair{}, sw)
 				return
 			}
+		case actCreateTenant:
+			if r.createTenant() {
+				return
+			}
+		case actDeleteTenant:
+			if r.deleteTenant() {
+				return
+			}
+		case actMigrateHost:
+			if r.migrateHost() {
+				return
+			}
 		}
 	}
 	r.record("idle", pair{}, 0)
 }
 
+// freeHosts lists non-controller hosts not owned by any tenant, in the
+// target's deterministic order.
+func (r *runner) freeHosts() []packet.MAC {
+	var out []packet.MAC
+	for _, m := range r.n.Hosts() {
+		if _, owned := r.mgr.TenantOf(m); !owned {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// createTenant carves a fresh tenant out of a contiguous run of free hosts.
+func (r *runner) createTenant() bool {
+	if r.mgr == nil {
+		return false
+	}
+	free := r.freeHosts()
+	size := r.cfg.TenantSize
+	if len(free) < size {
+		return false
+	}
+	start := r.rng.Intn(len(free) - size + 1)
+	id := vnet.TenantID(fmt.Sprintf("chaos-%d", r.tenantSeq))
+	if _, err := r.mgr.CreateTenant(id, free[start:start+size]); err != nil {
+		return false
+	}
+	r.tenantSeq++
+	r.recordTenant("create-tenant", id, packet.MAC{})
+	return true
+}
+
+// deleteTenant tears a random tenant down, asserting zero blast radius on
+// every other tenant's routes.
+func (r *runner) deleteTenant() bool {
+	if r.mgr == nil {
+		return false
+	}
+	ids := r.mgr.Tenants()
+	if len(ids) == 0 {
+		return false
+	}
+	id := ids[r.rng.Intn(len(ids))]
+	before := r.snapshotOthers(id)
+	if err := r.mgr.DeleteTenant(id); err != nil {
+		return false
+	}
+	r.assertOthersStable(id, "delete-tenant", before)
+	r.recordTenant("delete-tenant", id, packet.MAC{})
+	return true
+}
+
+// migrateHost swaps a random member of a random tenant for a free host,
+// asserting zero blast radius on every other tenant's routes.
+func (r *runner) migrateHost() bool {
+	if r.mgr == nil {
+		return false
+	}
+	ids := r.mgr.Tenants()
+	free := r.freeHosts()
+	if len(ids) == 0 || len(free) == 0 {
+		return false
+	}
+	id := ids[r.rng.Intn(len(ids))]
+	members, err := r.mgr.Members(id)
+	if err != nil || len(members) == 0 {
+		return false
+	}
+	from := members[r.rng.Intn(len(members))]
+	to := free[r.rng.Intn(len(free))]
+	before := r.snapshotOthers(id)
+	if err := r.mgr.MigrateHost(id, from, to); err != nil {
+		return false
+	}
+	r.assertOthersStable(id, "migrate-host", before)
+	r.recordTenant("migrate-host", id, to)
+	return true
+}
+
+func (r *runner) recordTenant(kind string, id vnet.TenantID, h packet.MAC) {
+	now := r.n.Engine().Now()
+	r.rep.Trace = append(r.rep.Trace, Event{At: now, Kind: kind, Tenant: string(id), Host: h})
+	r.n.Engine().Tracer().ScenarioTenant(int64(now), scenarioOpFor(kind), h)
+}
+
+// stableProbe is one other-tenant route answer captured before a mutation.
+type stableProbe struct {
+	tenant   vnet.TenantID
+	src, dst packet.MAC
+	wire     []byte
+	ok       bool
+}
+
+// snapshotOthers records, for every tenant except exclude, the controller's
+// wire answer for that tenant's first member pair. Because mutating one
+// tenant bumps neither other tenants' generations nor the master topology
+// generation, these answers must come back byte-identical afterwards.
+func (r *runner) snapshotOthers(exclude vnet.TenantID) []stableProbe {
+	ctrl := r.activeCtrl()
+	if ctrl == nil {
+		return nil
+	}
+	var out []stableProbe
+	for _, id := range r.mgr.Tenants() {
+		if id == exclude {
+			continue
+		}
+		members, err := r.mgr.Members(id)
+		if err != nil || len(members) < 2 {
+			continue
+		}
+		p := stableProbe{tenant: id, src: members[0], dst: members[1]}
+		if w, err := ctrl.Routes().LookupTenantWire(string(id), p.src, p.dst); err == nil {
+			p.wire = append([]byte(nil), w...)
+			p.ok = true
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// assertOthersStable re-probes every snapshot and flags any drift as a
+// tenant-blast-radius violation: mutating one tenant must not perturb
+// another tenant's routes.
+func (r *runner) assertOthersStable(mutated vnet.TenantID, kind string, before []stableProbe) {
+	ctrl := r.activeCtrl()
+	if ctrl == nil {
+		return
+	}
+	for _, p := range before {
+		w, err := ctrl.Routes().LookupTenantWire(string(p.tenant), p.src, p.dst)
+		if p.ok {
+			if err != nil {
+				r.violate("tenant-blast-radius", "%s of %s broke tenant %s route %v->%v: %v",
+					kind, mutated, p.tenant, p.src, p.dst, err)
+				continue
+			}
+			if !bytes.Equal(p.wire, w) {
+				r.violate("tenant-blast-radius", "%s of %s changed tenant %s route %v->%v",
+					kind, mutated, p.tenant, p.src, p.dst)
+			}
+		} else if err == nil {
+			r.violate("tenant-blast-radius", "%s of %s made tenant %s route %v->%v appear",
+				kind, mutated, p.tenant, p.src, p.dst)
+		}
+	}
+}
+
+// crossDomain reports whether src->dst traffic crosses an isolation
+// boundary (one endpoint tenanted and the other not, or different tenants).
+func (r *runner) crossDomain(a, b packet.MAC) bool {
+	if r.mgr == nil {
+		return false
+	}
+	ta, aok := r.mgr.TenantOf(a)
+	tb, bok := r.mgr.TenantOf(b)
+	if !aok && !bok {
+		return false
+	}
+	return !(aok && bok && ta == tb)
+}
+
 // background fires a little best-effort traffic between events so the
 // datapath, retry and blackhole machinery actually run under impairment.
+// With virtualization installed, a pair that crosses an isolation boundary
+// at send time arms a sensor: if such a ping ever completes, a tenant
+// boundary leaked a packet. (Armed at send time only — membership may
+// legally change while a frame is in flight, but a ping issued across a
+// boundary must be refused before any payload reaches the far host.)
 func (r *runner) background() {
 	hosts := r.n.Hosts()
 	if len(hosts) < 2 {
@@ -489,7 +741,25 @@ func (r *runner) background() {
 		if src == dst {
 			continue
 		}
+		if r.crossDomain(src, dst) {
+			s, d := src, dst
+			_ = r.n.Ping(s, d, func(sim.Time) {
+				r.violate("tenant-isolation", "cross-tenant ping %v -> %v completed", s, d)
+			})
+			continue
+		}
 		_ = r.n.Ping(src, dst, func(sim.Time) {})
+	}
+	// Keep at least one intra-tenant flow alive so slice routing itself is
+	// exercised under faults, not just refused at the boundary.
+	if r.cfg.TenantChurn && r.mgr != nil {
+		ids := r.mgr.Tenants()
+		if len(ids) > 0 {
+			id := ids[r.rng.Intn(len(ids))]
+			if members, err := r.mgr.Members(id); err == nil && len(members) >= 2 {
+				_ = r.n.Ping(members[0], members[1], func(sim.Time) {})
+			}
+		}
 	}
 }
 

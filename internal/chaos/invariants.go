@@ -25,6 +25,33 @@ func (r *runner) check() {
 	r.checkNoLoops()
 	r.checkConvergence()
 	r.checkRouteService()
+	r.checkIsolation()
+}
+
+// samplePairs returns the ordered (src, dst) host pairs the sweeps examine.
+// Cross-domain pairs are excluded — isolation asserts they must NOT connect,
+// which checkIsolation probes separately. MaxPairChecks > 0 thins the list
+// by a deterministic stride so huge fabrics stay checkable.
+func (r *runner) samplePairs() [][2]packet.MAC {
+	hosts := r.allHosts()
+	var all [][2]packet.MAC
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst || r.crossDomain(src, dst) {
+				continue
+			}
+			all = append(all, [2]packet.MAC{src, dst})
+		}
+	}
+	if r.cfg.MaxPairChecks <= 0 || len(all) <= r.cfg.MaxPairChecks {
+		return all
+	}
+	stride := (len(all) + r.cfg.MaxPairChecks - 1) / r.cfg.MaxPairChecks
+	var out [][2]packet.MAC
+	for i := 0; i < len(all); i += stride {
+		out = append(out, all[i])
+	}
+	return out
 }
 
 func (r *runner) violate(inv, format string, args ...any) {
@@ -36,28 +63,23 @@ func (r *runner) allHosts() []packet.MAC {
 }
 
 func (r *runner) checkConnectivity() {
-	hosts := r.allHosts()
-	for _, src := range hosts {
-		for _, dst := range hosts {
-			if src == dst {
-				continue
+	for _, p := range r.samplePairs() {
+		src, dst := p[0], p[1]
+		deadline := r.n.Engine().Now() + r.cfg.Deadline
+		attempts := 0
+		for {
+			attempts++
+			if _, err := r.n.PingSync(src, dst); err == nil {
+				break
 			}
-			deadline := r.n.Engine().Now() + r.cfg.Deadline
-			attempts := 0
-			for {
-				attempts++
-				if _, err := r.n.PingSync(src, dst); err == nil {
-					break
-				}
-				if r.n.Engine().Now() >= deadline {
-					r.violate("connectivity", "%v -> %v unreachable after %d attempts", src, dst, attempts)
-					break
-				}
-				r.n.RunFor(50 * sim.Millisecond)
+			if r.n.Engine().Now() >= deadline {
+				r.violate("connectivity", "%v -> %v unreachable after %d attempts", src, dst, attempts)
+				break
 			}
-			if attempts > 1 {
-				r.rep.PingRetries++
-			}
+			r.n.RunFor(50 * sim.Millisecond)
+		}
+		if attempts > 1 {
+			r.rep.PingRetries++
 		}
 	}
 }
@@ -192,22 +214,92 @@ func (r *runner) checkRouteService() {
 		r.violate("route-cache", "no live controller after heal")
 		return
 	}
+	for _, p := range r.samplePairs() {
+		src, dst := p[0], p[1]
+		var pg *topo.PathGraph
+		var err error
+		if r.mgr != nil {
+			if id, ok := r.mgr.TenantOf(src); ok {
+				// Same tenant (cross-domain pairs were excluded): the
+				// answer must come from inside the slice.
+				pg, err = ctrl.Routes().LookupTenant(string(id), src, dst)
+			}
+		}
+		if pg == nil && err == nil {
+			pg, err = ctrl.Routes().Lookup(src, dst)
+		}
+		if err != nil {
+			r.violate("route-cache", "%v -> %v: no path graph after heal: %v", src, dst, err)
+			continue
+		}
+		if err := pg.Validate(); err != nil {
+			r.violate("route-cache", "%v -> %v: %v", src, dst, err)
+			continue
+		}
+		r.assertPathInView(r.n.Topology(), "post-heal", src, dst, pg)
+	}
+}
+
+// auditTenantViews is the mid-chaos tenancy audit, run after every event:
+// every tenant view must still be a subgraph of its creation-time baseline
+// (views may only narrow under faults, never widen), and every cached
+// tenant route still inside its slice — entries that now escape are
+// evicted by the route service's own audit and recomputed on demand.
+func (r *runner) auditTenantViews() {
+	if r.mgr == nil {
+		return
+	}
+	for _, d := range r.mgr.AuditViews() {
+		r.violate("tenant-isolation", "mid-chaos view audit: %s", d)
+	}
+	if ctrl := r.activeCtrl(); ctrl != nil && !ctrl.Down() {
+		ctrl.Routes().AuditTenantRoutes()
+	}
+}
+
+// checkIsolation is the post-heal tenancy invariant: no tenant view widened
+// past its baseline, the manager refuses to answer for foreign hosts, and
+// real cross-domain traffic still fails end to end even with the fabric
+// fully healed — the strongest form of "zero cross-tenant deliveries".
+func (r *runner) checkIsolation() {
+	if r.mgr == nil {
+		return
+	}
+	for _, d := range r.mgr.AuditViews() {
+		r.violate("tenant-isolation", "post-heal view audit: %s", d)
+	}
+	ids := r.mgr.Tenants()
+	// The manager must refuse to compute a path that leaves a slice.
+	for i, id := range ids {
+		if i >= 4 || len(ids) < 2 {
+			break
+		}
+		other := ids[(i+1)%len(ids)]
+		ma, erra := r.mgr.Members(id)
+		mb, errb := r.mgr.Members(other)
+		if erra != nil || errb != nil || len(ma) == 0 || len(mb) == 0 {
+			continue
+		}
+		if _, err := r.mgr.PathGraphFor(id, ma[0], mb[0]); err == nil {
+			r.violate("tenant-isolation", "PathGraphFor(%s, %v, %v) crossed into %s", id, ma[0], mb[0], other)
+		}
+	}
+	// A handful of live probes across boundaries: each must fail.
+	probes := 0
 	hosts := r.allHosts()
 	for _, src := range hosts {
+		if probes >= 4 {
+			break
+		}
 		for _, dst := range hosts {
-			if src == dst {
+			if src == dst || !r.crossDomain(src, dst) {
 				continue
 			}
-			pg, err := ctrl.Routes().Lookup(src, dst)
-			if err != nil {
-				r.violate("route-cache", "%v -> %v: no path graph after heal: %v", src, dst, err)
-				continue
+			if _, err := r.n.PingSync(src, dst); err == nil {
+				r.violate("tenant-isolation", "post-heal cross-domain ping %v -> %v succeeded", src, dst)
 			}
-			if err := pg.Validate(); err != nil {
-				r.violate("route-cache", "%v -> %v: %v", src, dst, err)
-				continue
-			}
-			r.assertPathInView(r.n.Topology(), "post-heal", src, dst, pg)
+			probes++
+			break
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/vnet"
 )
 
 // Target is the deployment surface a chaos scenario drives. core.Network
@@ -30,6 +31,9 @@ type Target interface {
 	Hosts() []packet.MAC
 	// Agent returns a host's agent (including the controller's).
 	Agent(m packet.MAC) *host.Agent
+	// Vnet returns the network-virtualization manager, nil when tenancy is
+	// off. Tenant-churn scenarios require it.
+	Vnet() *vnet.Manager
 
 	Ping(src, dst packet.MAC, cb func(rtt sim.Time)) error
 	PingSync(src, dst packet.MAC) (sim.Time, error)

@@ -121,6 +121,7 @@ type Controller struct {
 var (
 	ErrNoTopology = errors.New("controller: topology not discovered yet")
 	ErrNotPrimary = errors.New("controller: not the primary replica")
+	ErrIsolated   = errors.New("controller: destination is inside a tenant slice")
 )
 
 // New creates a controller owning the given agent.
@@ -241,23 +242,46 @@ type Virtualizer interface {
 	// PathGraphFor builds a slice-restricted path graph, failing when the
 	// endpoints are not both members.
 	PathGraphFor(tenant string, src, dst packet.MAC) (*topo.PathGraph, error)
+	// TenantGeneration reports the tenant's mutation counter; cached slice
+	// answers are stale (and re-computed) once it moves.
+	TenantGeneration(tenant string) (uint64, bool)
+	// VerifyTenantRoute audits a tag route against the tenant's current
+	// slice, rejecting any route that escapes it.
+	VerifyTenantRoute(tenant string, src, dst packet.MAC, tags packet.Path) error
+}
+
+// topoSink receives applied topology mutations so slice views stay in step
+// with the master. vnet.ControllerAdapter implements it; the controller
+// type-asserts, so a minimal Virtualizer without patch propagation is still
+// accepted.
+type topoSink interface {
+	ApplyLinkDown(sw packet.SwitchID, port packet.Tag)
+	ApplyLinkUp(a packet.SwitchID, pa packet.Tag, b packet.SwitchID, pb packet.Tag)
+	ApplySwitchDown(sw packet.SwitchID)
 }
 
 // SetVirtualization installs a tenant policy on the path service.
 func (c *Controller) SetVirtualization(v Virtualizer) { c.virt = v }
 
 // pathGraphWire returns the serialized path-graph answer for (src, dst).
-// Tenant requests bypass the cache (their slice-restricted graphs come from
-// the virtualizer); everything else is served by the route service.
+// Tenant requests are served from the route service's per-tenant cache —
+// slice-restricted answers keyed by (tenant, pair, topoGen, tenantGen) —
+// and everything else by the global cache. Isolation is symmetric: an
+// untenanted host asking for a route *into* a slice is refused too, so no
+// cross-domain exchange can complete in either direction.
 func (c *Controller) pathGraphWire(src, dst packet.MAC) ([]byte, error) {
 	if c.virt != nil {
 		if tenant, ok := c.virt.TenantOf(src); ok {
-			pg, err := c.virt.PathGraphFor(tenant, src, dst)
+			wire, err := c.routes.LookupTenantWire(tenant, src, dst)
 			if err != nil {
 				c.stats.PathRefused++
 				return nil, err
 			}
-			return pg.Marshal(), nil
+			return wire, nil
+		}
+		if _, ok := c.virt.TenantOf(dst); ok {
+			c.stats.PathRefused++
+			return nil, ErrIsolated
 		}
 	}
 	return c.routes.LookupWire(src, dst)
@@ -366,20 +390,33 @@ func (c *Controller) commitPatch(patch *topo.Patch) {
 	c.floodPatch(patch)
 }
 
-// applyPatchLocal mutates the master topology.
+// applyPatchLocal mutates the master topology. Each applied op is mirrored
+// into the virtualizer's topology sink (when it has one) so tenant views
+// shrink with failures and heal with repairs; the sink calls are idempotent
+// because every replica applies the same committed patches.
 func (c *Controller) applyPatchLocal(patch *topo.Patch) {
+	sink, _ := c.virt.(topoSink)
 	for _, op := range patch.Ops {
 		switch op.Kind {
 		case topo.OpLinkDown:
 			if ep, err := c.master.EndpointAt(op.Switch, op.Port); err == nil && ep.Kind == topo.EndpointSwitch {
 				_ = c.master.Disconnect(op.Switch, op.Port)
 			}
+			if sink != nil {
+				sink.ApplyLinkDown(op.Switch, op.Port)
+			}
 		case topo.OpLinkUp:
 			_ = c.master.Connect(op.A, op.PA, op.B, op.PB)
+			if sink != nil {
+				sink.ApplyLinkUp(op.A, op.PA, op.B, op.PB)
+			}
 		case topo.OpHostAdd:
 			_ = c.master.AttachHost(op.Attach.Host, op.Attach.Switch, op.Attach.Port)
 		case topo.OpSwitchDown:
 			_ = c.master.RemoveSwitch(op.Switch)
+			if sink != nil {
+				sink.ApplySwitchDown(op.Switch)
+			}
 		}
 	}
 	c.version++

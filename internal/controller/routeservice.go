@@ -37,17 +37,44 @@ type routeEntry struct {
 	wire    []byte          // pg.Marshal(), shared by every coalesced reply
 }
 
+// tenantKey identifies one cached slice-restricted answer: a tenant and a
+// member host pair. A composite struct key keeps warm lookups map-probe
+// cheap (no string concatenation, zero allocations).
+type tenantKey struct {
+	tenant   string
+	src, dst packet.MAC
+}
+
+// tenantEntry is a cached slice answer. On top of routeEntry's three
+// freshness tokens it carries the tenant's generation, so both topology
+// change and tenant mutation (create/delete/migrate/resize, slice repair)
+// invalidate it lazily.
+type tenantEntry struct {
+	top       *topo.Topology
+	version   uint64
+	topoGen   uint64
+	tenantGen uint64
+	pg        *topo.PathGraph
+	wire      []byte
+}
+
 // RouteService caches and serves the controller's path graphs.
 type RouteService struct {
-	c     *Controller
-	cache map[pairKey]*routeEntry
-	sc    *topo.DenseScratch
+	c      *Controller
+	cache  map[pairKey]*routeEntry
+	tcache map[tenantKey]*tenantEntry
+	sc     *topo.DenseScratch
 
 	hits        *trace.Counter
 	misses      *trace.Counter
 	invalidated *trace.Counter
 	coalesced   *trace.Counter
 	warmed      *trace.Counter
+	thits       *trace.Counter
+	tmisses     *trace.Counter
+	tinvalid    *trace.Counter
+	tevicted    *trace.Counter
+	taudits     *trace.Counter
 	// compute observes the size (switch count) of each Algorithm-1 result —
 	// a deterministic per-compute cost measure (wall-clock timing would leak
 	// nondeterminism into metric output; dumbnet-bench carries the timings).
@@ -59,12 +86,18 @@ func newRouteService(c *Controller) *RouteService {
 	return &RouteService{
 		c:           c,
 		cache:       make(map[pairKey]*routeEntry),
+		tcache:      make(map[tenantKey]*tenantEntry),
 		sc:          topo.NewDenseScratch(),
 		hits:        reg.Counter("ctrl.route.hit"),
 		misses:      reg.Counter("ctrl.route.miss"),
 		invalidated: reg.Counter("ctrl.route.invalidated"),
 		coalesced:   reg.Counter("ctrl.route.coalesced"),
 		warmed:      reg.Counter("ctrl.route.warmed"),
+		thits:       reg.Counter("ctrl.route.tenant_hit"),
+		tmisses:     reg.Counter("ctrl.route.tenant_miss"),
+		tinvalid:    reg.Counter("ctrl.route.tenant_invalidated"),
+		tevicted:    reg.Counter("ctrl.route.tenant_evicted"),
+		taudits:     reg.Counter("ctrl.route.tenant_audits"),
 		compute:     reg.ValueHistogram("ctrl.route.pgsize"),
 	}
 }
@@ -155,14 +188,127 @@ func (s *RouteService) LookupWire(src, dst packet.MAC) ([]byte, error) {
 	return e.wire, nil
 }
 
+// freshTenant reports whether e still answers for master m at tenant
+// generation tgen.
+func (e *tenantEntry) fresh(m *topo.Topology, version, tgen uint64) bool {
+	return e.top == m && e.version == version && e.topoGen == m.Generation() && e.tenantGen == tgen
+}
+
+// lookupTenant returns a valid cached slice answer for a tenant member
+// pair, recomputing through the virtualizer on miss or staleness. The
+// answer is computed entirely inside the slice (the virtualizer never sees
+// topology the tenant may not), and a warm hit allocates nothing.
+func (s *RouteService) lookupTenant(tenant string, src, dst packet.MAC) (*tenantEntry, error) {
+	m := s.c.master
+	if m == nil {
+		return nil, ErrNoTopology
+	}
+	v := s.c.virt
+	if v == nil {
+		return nil, ErrIsolated
+	}
+	tgen, known := v.TenantGeneration(tenant)
+	key := tenantKey{tenant: tenant, src: src, dst: dst}
+	if e, ok := s.tcache[key]; ok {
+		if known && e.fresh(m, s.c.version, tgen) {
+			s.thits.Inc()
+			return e, nil
+		}
+		s.tinvalid.Inc()
+		delete(s.tcache, key)
+	}
+	s.tmisses.Inc()
+	pg, err := v.PathGraphFor(tenant, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	e := &tenantEntry{top: m, version: s.c.version, topoGen: m.Generation(),
+		tenantGen: tgen, pg: pg, wire: pg.Marshal()}
+	s.tcache[key] = e
+	return e, nil
+}
+
+// LookupTenant returns the (possibly cached) slice-restricted path graph
+// for a tenant member pair, cloned for safe mutation.
+func (s *RouteService) LookupTenant(tenant string, src, dst packet.MAC) (*topo.PathGraph, error) {
+	e, err := s.lookupTenant(tenant, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return e.pg.Clone(), nil
+}
+
+// LookupTenantWire returns the serialized slice-restricted path graph. The
+// returned bytes are shared and must not be modified; a warm hit performs
+// zero allocations.
+func (s *RouteService) LookupTenantWire(tenant string, src, dst packet.MAC) ([]byte, error) {
+	e, err := s.lookupTenant(tenant, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return e.wire, nil
+}
+
+// AuditTenantRoutes re-verifies every cached tenant answer against the
+// tenant's *current* slice and evicts any route that now escapes it —
+// the paper's path-verifier run as a cache audit. Generation freshness
+// already invalidates stale entries lazily; the audit is the belt to that
+// suspender (and the detector if an entry were ever wrongly kept). It runs
+// off the hot path and returns (checked, evicted).
+func (s *RouteService) AuditTenantRoutes() (checked, evicted int) {
+	v := s.c.virt
+	if v == nil {
+		return 0, 0
+	}
+	for key, e := range s.tcache {
+		checked++
+		s.taudits.Inc()
+		if err := s.auditTenantEntry(v, key, e); err != nil {
+			delete(s.tcache, key)
+			s.tevicted.Inc()
+			evicted++
+		}
+	}
+	return checked, evicted
+}
+
+// auditTenantEntry replays a cached answer's tag routes through the slice
+// verifier.
+func (s *RouteService) auditTenantEntry(v Virtualizer, key tenantKey, e *tenantEntry) error {
+	tags, err := e.pg.PrimaryTags()
+	if err != nil {
+		return err
+	}
+	if err := v.VerifyTenantRoute(key.tenant, key.src, key.dst, tags); err != nil {
+		return err
+	}
+	if len(e.pg.Backup) > 0 {
+		btags, err := e.pg.BackupTags()
+		if err != nil {
+			return err
+		}
+		if err := v.VerifyTenantRoute(key.tenant, key.src, key.dst, btags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Len reports how many pairs are currently cached (fresh or not).
 func (s *RouteService) Len() int { return len(s.cache) }
 
-// Invalidate drops every cached entry. Generation checks make this
-// unnecessary for correctness; benchmarks use it to force cold computes.
+// TenantLen reports how many tenant pairs are currently cached.
+func (s *RouteService) TenantLen() int { return len(s.tcache) }
+
+// Invalidate drops every cached entry (global and tenant). Generation
+// checks make this unnecessary for correctness; benchmarks use it to force
+// cold computes.
 func (s *RouteService) Invalidate() {
 	for k := range s.cache {
 		delete(s.cache, k)
+	}
+	for k := range s.tcache {
+		delete(s.tcache, k)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/vnet"
 )
 
 // MAC re-exports the host identity type.
@@ -88,6 +89,13 @@ type Network struct {
 	pendingReplicas   int
 	pendingReplicasAt []MAC
 
+	// virtualization requested via options (WithTenants), applied when the
+	// network boots — after replication, so the manager tracks the
+	// replicated master.
+	pendingTenants int // -1 = off
+	tenantCls      vnet.Class
+	vnet           *vnet.Manager
+
 	// perpetual marks that self-rescheduling timers (consensus heartbeats)
 	// keep the event queue non-empty forever; drains become time-bounded.
 	perpetual bool
@@ -151,6 +159,8 @@ func New(t *topo.Topology, opts ...Option) (*Network, error) {
 		chaosCfg:          o.chaos,
 		pendingReplicas:   o.replicas,
 		pendingReplicasAt: o.replicasAt,
+		pendingTenants:    o.tenants,
+		tenantCls:         o.tenantCls,
 	}
 	found := false
 	for _, at := range hosts {
@@ -216,7 +226,10 @@ func (n *Network) Bootstrap() error {
 	}
 	n.Eng.Run()
 	n.booted = true
-	return n.applyPendingReplication()
+	if err := n.applyPendingReplication(); err != nil {
+		return err
+	}
+	return n.applyPendingTenancy()
 }
 
 // applyPendingReplication stands up replication requested at construction
@@ -264,7 +277,10 @@ func (n *Network) Discover(maxPorts int) (controller.DiscoveryReport, error) {
 	}
 	n.Eng.Run()
 	n.booted = true
-	return report, n.applyPendingReplication()
+	if err := n.applyPendingReplication(); err != nil {
+		return report, err
+	}
+	return report, n.applyPendingTenancy()
 }
 
 // reconfigureDiscovery rebuilds the controller with a new port bound.
@@ -565,6 +581,13 @@ func (n *Network) finishReplication(ctrls []*controller.Controller) (*controller
 	}
 	n.RunFor(sim.Second)
 	n.group = group
+	// Snapshot replication replaced each replica's master object: re-point
+	// an already-installed virtualization manager at the new master and put
+	// the adapter on every replica so isolation survives failover.
+	if n.vnet != nil {
+		n.vnet.SetMaster(n.Ctrl.Master())
+	}
+	n.installVirtualization()
 	return group, nil
 }
 
@@ -574,7 +597,9 @@ func (n *Network) WarmAll() {
 	all := append([]MAC{n.Ctrl.MAC()}, n.hosts...)
 	for _, a := range all {
 		for _, b := range all {
-			if a != b {
+			// Cross-domain warms would only burn their retry budget on
+			// refusals, so virtualized deployments warm within domains.
+			if a != b && !n.crossDomain(a, b) {
 				_ = n.agents[a].WarmUp(b)
 			}
 		}

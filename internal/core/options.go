@@ -6,6 +6,7 @@ import (
 	"dumbnet/internal/fabric"
 	"dumbnet/internal/host"
 	"dumbnet/internal/trace"
+	"dumbnet/internal/vnet"
 )
 
 // Option configures New. The functional-options constructor replaces the
@@ -31,11 +32,13 @@ type options struct {
 	replicasAt []MAC // fabric-attached replicas (WithReplicasAt)
 	tracer     *trace.Recorder
 	chaos      *chaos.Config
-	policy     string // routing policy installed on every host; "" = default
+	policy     string     // routing policy installed on every host; "" = default
+	tenants    int        // -1 = virtualization off; 0 = manager only; n>0 = carve n tenants
+	tenantCls  vnet.Class // degradation class for carved tenants
 }
 
 func defaultOptions() options {
-	return options{cfg: DefaultConfig()}
+	return options{cfg: DefaultConfig(), tenants: -1}
 }
 
 // WithConfig replaces the whole bundled Config (seed, fabric, host,
@@ -108,6 +111,32 @@ func WithTracer(rec *trace.Recorder) Option {
 // network with RunChaos.
 func WithChaos(cfg chaos.Config) Option {
 	return func(o *options) { o.chaos = &cfg }
+}
+
+// WithTenants enables network virtualization (§6.1) once the network
+// boots: a vnet.Manager is installed on the controller(s) and the
+// non-controller hosts are carved into count equal tenants ("t000",
+// "t001", ...). count == 0 installs the manager with no tenants — create
+// them at runtime (chaos churn does). Applied after replication setup so
+// the manager tracks the replicated master.
+func WithTenants(count int) Option {
+	return func(o *options) { o.tenants = count }
+}
+
+// WithTenantClass sets the degradation class (routing policy, path-query
+// retry budget) applied to tenants carved by WithTenants.
+func WithTenantClass(class vnet.Class) Option {
+	return func(o *options) { o.tenantCls = class }
+}
+
+// WithHostFlood toggles the hosts' stage-1 peer-to-peer link-event flood
+// (§4.2). The flood costs O(hosts²) frames per link event, which dominates
+// simulator memory on very large fabrics (k=16 fat-trees and beyond);
+// turning it off leaves failure recovery to the switch's hop-limited
+// hardware broadcast plus the controller's stage-2 patches, the same
+// degraded mode the flood ablation experiment measures.
+func WithHostFlood(on bool) Option {
+	return func(o *options) { o.cfg.Host.DisableHostFlood = !on }
 }
 
 // WithPolicy installs a registered host routing policy (host.PolicyNames:

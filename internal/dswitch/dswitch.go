@@ -54,6 +54,7 @@ type Stats struct {
 	IDReplies     uint64 // ID-query replies generated
 	FloodsIn      uint64 // link-event broadcasts received
 	FloodsOut     uint64 // link-event broadcast transmissions
+	FloodsSquelch uint64 // duplicate broadcast copies dropped by storm control
 	DropNoPort     uint64 // tag named an unwired or out-of-range port
 	DropLinkDown   uint64 // tag named a port whose link is down
 	DropBadFrame   uint64 // unparseable frames
@@ -76,6 +77,17 @@ type Switch struct {
 	lastAlarm    []sim.Time // per-port time of last alarm sent (or -inf)
 	lastAlarmUp  []bool     // per-port state last advertised by an alarm
 	alarmPending []bool     // per-port trailing alarm scheduled
+
+	// floodSeen is the broadcast storm-control table: a small direct-mapped
+	// signature CAM of recently forwarded link events. Multipath fabrics are
+	// full of cycles, and a hop-limited flood with no duplicate suppression
+	// multiplies by (ports-1) per hop — ~15^5 copies for one alarm on a k=16
+	// fat-tree. Real switch ASICs bound this with storm control; we keep one
+	// fixed-size table (no per-flow state, so the switch stays dumb) and
+	// re-flood each distinct (switch, port, seq, up) signature at most once.
+	// A collision evicts the older signature — worst case a duplicate is
+	// forwarded again, never lost.
+	floodSeen [128]floodSig
 
 	// down marks a crashed switch: no forwarding, no alarms, ports dark.
 	down bool
@@ -378,8 +390,35 @@ func (s *Switch) handleEndOfPath(inPort int, frame []byte) {
 	if ev.HopsLeft == 0 {
 		return
 	}
+	if s.floodSeenBefore(ev) {
+		s.stats.FloodsSquelch++
+		return
+	}
 	ev.HopsLeft--
 	s.floodLinkEvent(ev, inPort)
+}
+
+// floodSig is one storm-control signature; HopsLeft is deliberately
+// excluded so copies arriving over different-length paths still match.
+type floodSig struct {
+	sw   packet.SwitchID
+	port packet.Tag
+	seq  uint64
+	up   bool
+	used bool
+}
+
+// floodSeenBefore checks the storm-control table for the event's signature
+// and records it when absent. Returns true if this switch already forwarded
+// (or originated) the event.
+func (s *Switch) floodSeenBefore(ev *packet.LinkEvent) bool {
+	sig := floodSig{sw: ev.Switch, port: ev.Port, seq: ev.Seq, up: ev.Up, used: true}
+	slot := (uint64(ev.Switch)*2654435761 + uint64(ev.Port)*40503 + ev.Seq*2246822519) % uint64(len(s.floodSeen))
+	if s.floodSeen[slot] == sig {
+		return true
+	}
+	s.floodSeen[slot] = sig
+	return false
 }
 
 // floodLinkEvent sends a link-event broadcast out every up port except
@@ -463,5 +502,8 @@ func (s *Switch) sendAlarm(port int, up bool) {
 		Seq:      s.alarmSeq,
 		HopsLeft: s.cfg.NotifyHops,
 	}
+	// Record our own alarm in the storm-control table so copies echoed back
+	// around fabric cycles die here instead of re-flooding.
+	s.floodSeenBefore(ev)
 	s.floodLinkEvent(ev, 0)
 }

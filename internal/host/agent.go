@@ -303,6 +303,19 @@ func (a *Agent) Cache() *topo.Subgraph { return a.cache }
 // Table exposes the PathTable.
 func (a *Agent) Table() *PathTable { return a.table }
 
+// RequestBudget reports the current per-controller path-query retry budget.
+func (a *Agent) RequestBudget() int { return a.cfg.RequestBudget }
+
+// SetRequestBudget overrides the per-controller path-query retry budget at
+// runtime — tenant degradation classes throttle how hard a slice's hosts
+// may hammer the controller. n <= 0 restores the default.
+func (a *Agent) SetRequestBudget(n int) {
+	if n <= 0 {
+		n = 6
+	}
+	a.cfg.RequestBudget = n
+}
+
 // Attach returns the host's own attachment point (zero until bootstrapped).
 func (a *Agent) Attach() topo.HostAttach { return a.attach }
 

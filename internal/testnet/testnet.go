@@ -13,6 +13,7 @@ import (
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
+	"dumbnet/internal/vnet"
 )
 
 // Options configures deployment.
@@ -27,6 +28,10 @@ type Options struct {
 	// Shards deploys on a parallel sharded engine group; <= 1 keeps the
 	// classic single-engine deployment.
 	Shards int
+	// Tenants > 0 installs network virtualization after bootstrap and
+	// carves the non-controller hosts into that many equal tenants
+	// ("t000", "t001", ...); 0 leaves tenancy off. Requires bootstrap.
+	Tenants int
 }
 
 // DefaultOptions mirrors the prototype deployment.
@@ -52,6 +57,8 @@ type Net struct {
 	Agents map[packet.MAC]*host.Agent
 	// Hosts lists non-controller host MACs in deterministic order.
 	Hosts []packet.MAC
+	// Vnet is the virtualization manager, nil unless Options.Tenants > 0.
+	Vnet *vnet.Manager
 }
 
 // Build deploys the topology: the first host (by MAC order) becomes the
@@ -111,6 +118,24 @@ func Build(t *topo.Topology, opts Options) (*Net, error) {
 			return nil, err
 		}
 		n.Eng.Run() // deliver hellos
+	}
+	if opts.Tenants > 0 {
+		if opts.SkipBootstrap {
+			return nil, fmt.Errorf("testnet: Tenants requires bootstrap")
+		}
+		n.Vnet = vnet.NewManager(n.Ctrl.Master(), opts.Controller.PathGraph, opts.Seed)
+		n.Vnet.SetMetrics(n.Eng.Metrics())
+		n.Ctrl.SetVirtualization(vnet.ControllerAdapter{M: n.Vnet})
+		size := len(n.Hosts) / opts.Tenants
+		if size < 2 {
+			return nil, fmt.Errorf("testnet: %d hosts cannot form %d tenants of >= 2", len(n.Hosts), opts.Tenants)
+		}
+		for i := 0; i < opts.Tenants; i++ {
+			id := vnet.TenantID(fmt.Sprintf("t%03d", i))
+			if _, err := n.Vnet.CreateTenant(id, n.Hosts[i*size:(i+1)*size]); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return n, nil
 }

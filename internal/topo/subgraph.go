@@ -70,6 +70,12 @@ func (s *Subgraph) RemoveSwitch(id SwitchID) {
 	delete(s.adj, id)
 }
 
+// RemoveHost forgets a cached host attachment. Tenant membership changes
+// revoke attachments from caches that are no longer permitted to hold them.
+func (s *Subgraph) RemoveHost(h MAC) {
+	delete(s.hosts, h)
+}
+
 // AddHost records a host attachment.
 func (s *Subgraph) AddHost(at HostAttach) {
 	s.hosts[at.Host] = at

@@ -175,6 +175,9 @@ const (
 	ScenarioRestartCtrl
 	ScenarioHealAll
 	ScenarioIdle
+	ScenarioCreateTenant
+	ScenarioDeleteTenant
+	ScenarioMigrateHost
 )
 
 func (o ScenarioOp) String() string {
@@ -199,6 +202,12 @@ func (o ScenarioOp) String() string {
 		return "heal-all"
 	case ScenarioIdle:
 		return "idle"
+	case ScenarioCreateTenant:
+		return "create-tenant"
+	case ScenarioDeleteTenant:
+		return "delete-tenant"
+	case ScenarioMigrateHost:
+		return "migrate-host"
 	}
 	return "?"
 }
@@ -432,4 +441,13 @@ func (r *Recorder) Scenario(at int64, op ScenarioOp, a, b packet.SwitchID) {
 		return
 	}
 	r.append(Record{At: at, Kind: KindScenario, Op: uint8(op), Sw: a, Sw2: b})
+}
+
+// ScenarioTenant records a tenant-lifecycle chaos event; host is the
+// migrated member (zero for create/delete, which carry no single host).
+func (r *Recorder) ScenarioTenant(at int64, op ScenarioOp, host packet.MAC) {
+	if r == nil {
+		return
+	}
+	r.append(Record{At: at, Kind: KindScenario, Op: uint8(op), Src: host})
 }
