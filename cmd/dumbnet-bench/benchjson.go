@@ -61,6 +61,12 @@ type benchSink struct{}
 
 func (*benchSink) Receive(int, []byte) {}
 
+// recycleSink returns every delivered frame to the buffer pool so a
+// steady-state fork bench sees the pool it would see in the emulator.
+type recycleSink struct{}
+
+func (*recycleSink) Receive(_ int, frame []byte) { packet.PutBuffer(frame) }
+
 // frameSink defeats dead-code elimination in the allocating decode bench.
 var frameSink *packet.Frame
 
@@ -266,6 +272,36 @@ func microBenches() []struct {
 		{"EngineSharded8", func(b *testing.B) { benchEngineSharded(b, 8) }},
 		{"FatTreeK16Shards1", func(b *testing.B) { benchFatTreeK16(b, 1) }},
 		{"FatTreeK16Shards8", func(b *testing.B) { benchFatTreeK16(b, 8) }},
+		// The multicast pair covers both halves of the tentpole datapath:
+		// McastFanout4 is one switch replicating a tagged frame to four
+		// branches (pool-recycled, 0 allocs), McastTreeWarm the controller
+		// serving a cached distribution tree (a map probe, 0 allocs).
+		{"McastFanout4", func(b *testing.B) { benchMcastFanout(b, 4) }},
+		{"McastTreeWarm", func(b *testing.B) {
+			tp, err := topo.FatTree(8, 2, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := sim.NewEngine(1)
+			hosts := tp.Hosts()
+			c := controller.New(eng, host.New(eng, hosts[0].Host, host.DefaultConfig()), controller.DefaultConfig())
+			c.SetMaster(tp)
+			svc := c.Mcast()
+			members := []packet.MAC{hosts[1].Host, hosts[7].Host, hosts[23].Host, hosts[41].Host}
+			if err := svc.CreateGroup(1, members); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.LookupTreeWire(1, members[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.LookupTreeWire(1, members[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"KShortestPathsK8", func(b *testing.B) {
 			tp, err := topo.FatTree(6, 1, 0)
 			if err != nil {
@@ -323,6 +359,45 @@ func benchRouteService(b *testing.B) (*controller.RouteService, *topo.Topology, 
 	c := controller.New(eng, host.New(eng, hosts[0].Host, host.DefaultConfig()), controller.DefaultConfig())
 	c.SetMaster(tp)
 	return c.Routes(), tp, hosts[1].Host, hosts[len(hosts)-1].Host
+}
+
+// benchMcastFanout measures one multicast switch hop: a tagged frame
+// arrives and the switch forks it to `fanout` branch ports, recycling the
+// parent buffer into the frame pool.
+func benchMcastFanout(b *testing.B, fanout int) {
+	e := sim.NewEngine(1)
+	sw := dswitch.New(e, 1, fanout+1, dswitch.DefaultConfig())
+	src := &recycleSink{}
+	lcfg := sim.LinkConfig{PropDelay: 500 * sim.Nanosecond, BandwidthBps: 10e9}
+	up := sim.NewLink(e, src, 1, sw, 1, lcfg)
+	sw.AttachLink(1, up)
+	var hops []packet.TreeHop
+	for i := 0; i < fanout; i++ {
+		port := i + 2
+		sw.AttachLink(port, sim.NewLink(e, sw, port, &recycleSink{}, 1, lcfg))
+		hops = append(hops, packet.TreeHop{Port: packet.Tag(port)})
+	}
+	tree, err := packet.EncodeTree(hops)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	master := make([]byte, packet.EncodedLenMcast(len(tree), len(payload)))
+	if _, err := packet.EncodeMcastTo(master, packet.McastMAC(7), packet.MACFromUint64(1), 0, tree, packet.EtherTypeIPv4, payload); err != nil {
+		b.Fatal(err)
+	}
+	send := func() {
+		buf := packet.GetBuffer(len(master))
+		copy(buf, master)
+		up.SendFrom(src, buf)
+		e.Run()
+	}
+	send() // warm the pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+	}
 }
 
 // benchSwitchForward measures one switch hop end to end — host link in,

@@ -23,10 +23,12 @@ import (
 	"dumbnet/internal/chaos"
 	"dumbnet/internal/core"
 	"dumbnet/internal/host"
+	"dumbnet/internal/mcast"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
 	"dumbnet/internal/trace"
+	"dumbnet/internal/workload"
 )
 
 func buildTopology(kind string, k, n int) (*topo.Topology, int, error) {
@@ -72,7 +74,11 @@ func main() {
 		crashSw   = flag.Bool("crash-switches", true, "include switch crash/restart events in the chaos mix")
 		ctrlCrash = flag.Bool("ctrl-crash", false, "crash the primary controller mid-chaos (attaches 2 replicas)")
 		churn     = flag.Bool("churn", false, "interleave tenant create/delete/migrate events into the chaos mix (needs -tenants)")
+		mcastSoak = flag.Bool("mcast", false, "carve multicast groups before impairment and probe them through the chaos mix")
 		checkCap  = flag.Int("check-cap", 0, "cap post-chaos pair sweeps at this many host pairs (0 = exhaustive)")
+
+		collective = flag.Bool("collective", false, "run the collective workloads: a real multicast broadcast over the fabric, then the flow-level collective suite")
+		mcastBytes = flag.Int("collective-bytes", 100e6, "payload size for the flow-level collective suite")
 
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON flight-recorder dump to this file")
 		traceSample = flag.Uint64("trace-sample", 1, "packet-hop sampling: record flows where hash%N==0 (0 disables hop records)")
@@ -266,9 +272,10 @@ func main() {
 		ccfg.CrashSwitches = *crashSw
 		ccfg.CrashController = *ctrlCrash
 		ccfg.TenantChurn = *churn
+		ccfg.Mcast = *mcastSoak
 		ccfg.MaxPairChecks = *checkCap
-		fmt.Printf("\nchaos: seed %d, %d events, loss %.3f, corrupt %.3f, flap %v, crash-switches %v, ctrl-crash %v, churn %v\n",
-			*chaosSeed, *chaosEvts, *loss, *corrupt, *flap, *crashSw, *ctrlCrash, *churn)
+		fmt.Printf("\nchaos: seed %d, %d events, loss %.3f, corrupt %.3f, flap %v, crash-switches %v, ctrl-crash %v, churn %v, mcast %v\n",
+			*chaosSeed, *chaosEvts, *loss, *corrupt, *flap, *crashSw, *ctrlCrash, *churn, *mcastSoak)
 		rep, err := chaos.Run(net, ccfg)
 		if err != nil {
 			log.Fatalf("chaos: %v", err)
@@ -291,6 +298,10 @@ func main() {
 			writeMemProfile()
 			os.Exit(1)
 		}
+	}
+
+	if *collective {
+		runCollective(net, hosts, float64(*mcastBytes))
 	}
 
 	if *iperf > 0 {
@@ -337,4 +348,65 @@ func main() {
 
 	fmt.Printf("\nvirtual time elapsed: %v, events processed: %d\n",
 		net.Eng.Now().Duration(), net.Eng.Processed())
+}
+
+// runCollective exercises the collective workloads two ways: a real
+// source-routed multicast broadcast over the deployed fabric (one frame in,
+// switch-replicated fan-out), then the flow-level collective suite
+// (broadcast, ring/tree allreduce, parameter server) on the max-min fair
+// leaf-spine model under each routing policy.
+func runCollective(net *core.Network, hosts []core.MAC, bytes float64) {
+	fmt.Println("\ncollective workloads:")
+
+	// 1. Packet-level broadcast: group the first few hosts, multicast a
+	// probe, and let every member report delivery.
+	size := len(hosts)
+	if size > 8 {
+		size = 8
+	}
+	members := append([]core.MAC(nil), hosts[:size]...)
+	// Group IDs 1..N belong to the -mcast chaos soak; stay clear of them.
+	const group = 1000
+	if err := net.CreateMcastGroup(group, members); err != nil {
+		log.Fatalf("collective: create group: %v", err)
+	}
+	net.Run() // drain the group announcement
+	delivered := 0
+	if err := net.MulticastProbe(members[0], group, func(core.MAC) { delivered++ }); err != nil {
+		log.Fatalf("collective: multicast: %v", err)
+	}
+	net.Run()
+	tree, err := net.Ctrl.Mcast().LookupTree(mcast.GroupID(group), members[0])
+	if err != nil {
+		log.Fatalf("collective: tree lookup: %v", err)
+	}
+	fmt.Printf("  multicast broadcast: %d/%d members delivered, tree depth %d, fanout %d, %dB wire tag\n",
+		delivered, len(members)-1, tree.Depth, len(tree.Hops), len(tree.Wire()))
+	if delivered != len(members)-1 {
+		log.Fatalf("collective: broadcast delivered %d of %d members", delivered, len(members)-1)
+	}
+
+	// 2. Flow-level suite on the paper's testbed shape (25 workers).
+	const spines, leaves, perLeaf = 2, 5, 5
+	workers := leaves * perLeaf
+	type policy struct {
+		name  string
+		route func(ls *workload.LeafSpineNet) workload.RouteFunc
+	}
+	policies := []policy{
+		{"flowlet", func(ls *workload.LeafSpineNet) workload.RouteFunc { return ls.FlowletPolicy() }},
+		{"single-path", func(ls *workload.LeafSpineNet) workload.RouteFunc { return ls.SinglePathPolicy() }},
+	}
+	for _, job := range workload.CollectiveSuite(workers, bytes) {
+		line := fmt.Sprintf("  %-16s", job.Name)
+		for _, p := range policies {
+			ls := workload.NewLeafSpine(spines, leaves, perLeaf, 10e9, 1e9)
+			d, err := workload.RunJob(job, ls.Net, p.route(ls))
+			if err != nil {
+				log.Fatalf("collective: %s under %s: %v", job.Name, p.name, err)
+			}
+			line += fmt.Sprintf("  %s %6.3fs", p.name, d)
+		}
+		fmt.Println(line)
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"dumbnet/internal/fabric"
 	"dumbnet/internal/packet"
@@ -68,6 +69,16 @@ type Config struct {
 	// route-service sweeps examine (deterministic stride sampling). 0 checks
 	// every pair; large fabrics set a cap to bound check time.
 	MaxPairChecks int
+	// Mcast creates multicast groups before impairment, fires delivery
+	// probes at them throughout the fault phase, and arms the multicast
+	// invariants: no duplicate delivery ever, no non-member delivery ever,
+	// and post-heal exactly-once delivery to every member over repaired
+	// trees.
+	Mcast bool
+	// McastGroups is how many groups to create (default 2).
+	McastGroups int
+	// McastGroupSize is how many hosts each group spans (default 4).
+	McastGroupSize int
 }
 
 // DefaultConfig is the standard scenario: ~1% loss, flapping, switch
@@ -103,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.TenantSize <= 0 {
 		c.TenantSize = 3
 	}
+	if c.McastGroups <= 0 {
+		c.McastGroups = 2
+	}
+	if c.McastGroupSize <= 0 {
+		c.McastGroupSize = 4
+	}
 	return c
 }
 
@@ -124,7 +141,7 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v %s %d<->%d", e.At, e.Kind, e.A, e.B)
 	case "crash-switch", "restart-switch":
 		return fmt.Sprintf("%v %s %d", e.At, e.Kind, e.Sw)
-	case "create-tenant", "delete-tenant":
+	case "create-tenant", "delete-tenant", "mcast-group", "mcast-probe":
 		return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Tenant)
 	case "migrate-host":
 		return fmt.Sprintf("%v %s %s -> %v", e.At, e.Kind, e.Tenant, e.Host)
@@ -235,6 +252,12 @@ type runner struct {
 	mgr       *vnet.Manager
 	tenantSeq int
 
+	// multicast scenario state (Config.Mcast): the groups created before
+	// impairment. probeMu guards in-flight probe delivery counts — probe
+	// callbacks fire from per-shard dispatch workers in sharded runs.
+	mcastGroups []mcastChaosGroup
+	probeMu     sync.Mutex
+
 	rep *Report
 }
 
@@ -292,6 +315,12 @@ func Run(n Target, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("chaos: network has no master view (bootstrap it first)")
 	}
 
+	if cfg.Mcast {
+		if err := r.setupMcastGroups(); err != nil {
+			return nil, err
+		}
+	}
+
 	r.n.Fabric().ImpairAllLinks(sim.Impairment{LossProb: cfg.Loss, CorruptProb: cfg.Corrupt, JitterMax: cfg.Jitter})
 	r.record("impair", pair{}, 0)
 
@@ -309,6 +338,7 @@ func Run(n Target, cfg Config) (*Report, error) {
 		n.RunFor(gap)
 		r.auditRouteCache()
 		r.auditTenantViews()
+		r.auditMcastTrees()
 	}
 
 	r.healAll()
@@ -749,6 +779,12 @@ func (r *runner) background() {
 			continue
 		}
 		_ = r.n.Ping(src, dst, func(sim.Time) {})
+	}
+	// One multicast probe per gap keeps trees forwarding — and the
+	// at-most-once / blast-radius sensors armed — while faults land.
+	// (Flag-gated rng draw: seeds without Mcast replay identically.)
+	if r.cfg.Mcast && len(r.mcastGroups) > 0 {
+		r.probeMcast(r.mcastGroups[r.rng.Intn(len(r.mcastGroups))], false)
 	}
 	// Keep at least one intra-tenant flow alive so slice routing itself is
 	// exercised under faults, not just refused at the boundary.

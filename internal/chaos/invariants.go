@@ -26,6 +26,7 @@ func (r *runner) check() {
 	r.checkConvergence()
 	r.checkRouteService()
 	r.checkIsolation()
+	r.checkMcast()
 }
 
 // samplePairs returns the ordered (src, dst) host pairs the sweeps examine.

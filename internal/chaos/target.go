@@ -39,6 +39,13 @@ type Target interface {
 	PingSync(src, dst packet.MAC) (sim.Time, error)
 	RunFor(d sim.Time)
 
+	// CreateMcastGroup registers a multicast group at the controller;
+	// MulticastProbe sends a delivery probe whose callback fires once per
+	// delivering member. Multicast chaos scenarios (Config.Mcast) use these
+	// as their delivery sensor.
+	CreateMcastGroup(id uint32, members []packet.MAC) error
+	MulticastProbe(src packet.MAC, id uint32, cb func(member packet.MAC)) error
+
 	FailLink(a, b packet.SwitchID) error
 	RestoreLink(a, b packet.SwitchID) error
 	CrashSwitch(id packet.SwitchID) error

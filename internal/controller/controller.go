@@ -98,6 +98,8 @@ type Controller struct {
 
 	// routes is the cached path-graph service behind handlePathRequest.
 	routes *RouteService
+	// mcast is the multicast group registry and tree cache.
+	mcast *McastService
 	// pathWaiters coalesces concurrent path requests per host pair: the
 	// first request schedules the compute, later arrivals within the
 	// processing window just queue their sequence numbers.
@@ -135,6 +137,7 @@ func New(eng *sim.Engine, agent *host.Agent, cfg Config) *Controller {
 		pathWaiters: make(map[pairKey][]uint64),
 	}
 	c.routes = newRouteService(c)
+	c.mcast = newMcastService(c)
 	agent.OnControl = c.onControl
 	return c
 }

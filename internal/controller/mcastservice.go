@@ -1,0 +1,266 @@
+package controller
+
+import (
+	"errors"
+	"sort"
+
+	"dumbnet/internal/mcast"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/topo"
+	"dumbnet/internal/trace"
+)
+
+// The multicast service: the controller-side half of source-routed
+// multicast. It owns the group registry (who is in which group) and a cache
+// of computed distribution trees, keyed per (group, source). Trees follow
+// the route service's lazy generation-invalidation discipline — an entry is
+// fresh only while the topology object, the controller's patch epoch, the
+// topology generation, AND the group's own membership generation all still
+// match — so chaos-driven link churn or a membership change can never serve
+// a stale tree; the next lookup recomputes over the healed view (the §4.2
+// repair flow, applied to trees). Switches stay dumb throughout: the whole
+// tree travels in the packet, and the only control-plane signal is a
+// hop-limited MsgGroupEvent flood telling hosts to drop cached trees.
+
+// Errors.
+var (
+	ErrNoGroup     = errors.New("controller: unknown multicast group")
+	ErrGroupExists = errors.New("controller: multicast group already exists")
+)
+
+// mcastGroup is one registered group: its member set and a mutation counter
+// bumped on every membership change (the cache's fourth freshness token).
+type mcastGroup struct {
+	members []packet.MAC
+	gen     uint64
+}
+
+// mcastKey identifies one cached tree: a group and the sending host. Trees
+// are source-rooted, so each sender gets its own.
+type mcastKey struct {
+	group mcast.GroupID
+	src   packet.MAC
+}
+
+// mcastEntry is one cached tree with its freshness tokens.
+type mcastEntry struct {
+	top      *topo.Topology
+	version  uint64
+	topoGen  uint64
+	groupGen uint64
+	tree     *mcast.Tree
+}
+
+// McastService computes, caches, and invalidates multicast trees.
+type McastService struct {
+	c      *Controller
+	groups map[mcast.GroupID]*mcastGroup
+	cache  map[mcastKey]*mcastEntry
+	sc     *topo.DenseScratch
+
+	hits        *trace.Counter
+	misses      *trace.Counter
+	invalidated *trace.Counter
+	notifies    *trace.Counter
+	// treeSize observes each computed tree's wire size — the deterministic
+	// per-compute cost measure (cf. ctrl.route.pgsize).
+	treeSize *trace.Histogram
+}
+
+func newMcastService(c *Controller) *McastService {
+	reg := c.eng.Metrics()
+	return &McastService{
+		c:           c,
+		groups:      make(map[mcast.GroupID]*mcastGroup),
+		cache:       make(map[mcastKey]*mcastEntry),
+		sc:          topo.NewDenseScratch(),
+		hits:        reg.Counter("ctrl.mcast.hit"),
+		misses:      reg.Counter("ctrl.mcast.miss"),
+		invalidated: reg.Counter("ctrl.mcast.invalidated"),
+		notifies:    reg.Counter("ctrl.mcast.notifies"),
+		treeSize:    reg.ValueHistogram("ctrl.mcast.treesize"),
+	}
+}
+
+// Mcast exposes the controller's multicast service.
+func (c *Controller) Mcast() *McastService { return c.mcast }
+
+// groupSeed derives the tree builder's equal-cost tie-break seed. Like
+// pairSeed it depends only on the identity and the freshness tokens, so the
+// same (group, source, epoch) always yields the same tree — and trees
+// re-randomize their equal-cost choices each topology or membership epoch,
+// spreading load the way §4.3 intends for unicast.
+func groupSeed(group mcast.GroupID, src packet.MAC, version, topoGen, groupGen uint64) int64 {
+	h := uint64(1469598103934665603) // FNV-1a
+	for _, b := range src {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	h = (h ^ uint64(group)) * 1099511628211
+	h ^= version * 0x9E3779B97F4A7C15
+	h ^= topoGen * 0xBF58476D1CE4E5B9
+	h ^= groupGen * 0x94D049BB133111EB
+	return int64(h)
+}
+
+// CreateGroup registers a multicast group. Members may include future
+// senders; each sender is excluded from its own tree at build time.
+func (s *McastService) CreateGroup(id mcast.GroupID, members []packet.MAC) error {
+	if _, ok := s.groups[id]; ok {
+		return ErrGroupExists
+	}
+	g := &mcastGroup{members: append([]packet.MAC(nil), members...), gen: 1}
+	s.groups[id] = g
+	s.notifyGroup(id, g.gen)
+	return nil
+}
+
+// UpdateGroup replaces a group's member set, bumping its generation so every
+// cached tree for the group goes stale.
+func (s *McastService) UpdateGroup(id mcast.GroupID, members []packet.MAC) error {
+	g, ok := s.groups[id]
+	if !ok {
+		return ErrNoGroup
+	}
+	g.members = append(g.members[:0], members...)
+	g.gen++
+	s.notifyGroup(id, g.gen)
+	return nil
+}
+
+// DeleteGroup unregisters a group and drops its cached trees.
+func (s *McastService) DeleteGroup(id mcast.GroupID) error {
+	g, ok := s.groups[id]
+	if !ok {
+		return ErrNoGroup
+	}
+	delete(s.groups, id)
+	for k := range s.cache {
+		if k.group == id {
+			delete(s.cache, k)
+		}
+	}
+	s.notifyGroup(id, g.gen+1)
+	return nil
+}
+
+// Members returns a copy of a group's member set.
+func (s *McastService) Members(id mcast.GroupID) ([]packet.MAC, bool) {
+	g, ok := s.groups[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]packet.MAC(nil), g.members...), true
+}
+
+// GroupGen reports a group's membership generation.
+func (s *McastService) GroupGen(id mcast.GroupID) (uint64, bool) {
+	g, ok := s.groups[id]
+	if !ok {
+		return 0, false
+	}
+	return g.gen, true
+}
+
+// Groups lists registered group IDs in ascending order.
+func (s *McastService) Groups() []mcast.GroupID {
+	out := make([]mcast.GroupID, 0, len(s.groups))
+	for id := range s.groups {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len reports how many (group, source) trees are currently cached.
+func (s *McastService) Len() int { return len(s.cache) }
+
+// Invalidate drops every cached tree. Generation checks make this
+// unnecessary for correctness; benchmarks use it to force cold computes.
+func (s *McastService) Invalidate() {
+	for k := range s.cache {
+		delete(s.cache, k)
+	}
+}
+
+// fresh reports whether e still answers for master m at group generation g.
+func (e *mcastEntry) fresh(m *topo.Topology, version, groupGen uint64) bool {
+	return e.top == m && e.version == version && e.topoGen == m.Generation() && e.groupGen == groupGen
+}
+
+// lookup returns a valid cache entry for (group, src), computing one on miss
+// or staleness. A warm hit is a single map probe and allocates nothing.
+func (s *McastService) lookup(group mcast.GroupID, src packet.MAC) (*mcastEntry, error) {
+	m := s.c.master
+	if m == nil {
+		return nil, ErrNoTopology
+	}
+	g, ok := s.groups[group]
+	if !ok {
+		return nil, ErrNoGroup
+	}
+	key := mcastKey{group: group, src: src}
+	if e, ok := s.cache[key]; ok {
+		if e.fresh(m, s.c.version, g.gen) {
+			s.hits.Inc()
+			return e, nil
+		}
+		// Lazy invalidation: a topology patch or membership change bumped a
+		// freshness token since this tree was computed — the repair path.
+		s.invalidated.Inc()
+		delete(s.cache, key)
+	}
+	s.misses.Inc()
+	version, topoGen := s.c.version, m.Generation()
+	seed := groupSeed(group, src, version, topoGen, g.gen)
+	tree, err := mcast.BuildTree(m, group, src, g.members, seed, s.sc)
+	if err != nil {
+		return nil, err
+	}
+	e := &mcastEntry{top: m, version: version, topoGen: topoGen, groupGen: g.gen, tree: tree}
+	s.cache[key] = e
+	s.treeSize.Observe(int64(len(tree.Wire())))
+	return e, nil
+}
+
+// LookupTree returns the (possibly cached) distribution tree for src sending
+// to group, cloned for safe mutation.
+func (s *McastService) LookupTree(group mcast.GroupID, src packet.MAC) (*mcast.Tree, error) {
+	e, err := s.lookup(group, src)
+	if err != nil {
+		return nil, err
+	}
+	return e.tree.Clone(), nil
+}
+
+// LookupTreeWire returns the encoded tree block src stamps into multicast
+// frame headers. The returned bytes are shared across callers and must not
+// be modified; a warm hit performs zero allocations.
+func (s *McastService) LookupTreeWire(group mcast.GroupID, src packet.MAC) ([]byte, error) {
+	e, err := s.lookup(group, src)
+	if err != nil {
+		return nil, err
+	}
+	return e.tree.Wire(), nil
+}
+
+// notifyGroup floods a MsgGroupEvent through the fabric: the frame ends its
+// (empty) tag path at the controller's access switch, which broadcasts it
+// hop-limited like a link alarm; every switch forwards and every host drops
+// its cached trees for the group. Controllers without an uplink (unit tests,
+// crashed access links) just skip the notification — host caches then age
+// out through the topology-patch path instead.
+func (s *McastService) notifyGroup(id mcast.GroupID, gen uint64) {
+	if s.c.down {
+		return
+	}
+	s.notifies.Inc()
+	body, err := packet.EncodeControl(packet.MsgGroupEvent, &packet.GroupEvent{
+		Group:    uint32(id),
+		Gen:      gen,
+		HopsLeft: 5,
+	})
+	if err != nil {
+		return
+	}
+	_ = s.c.Agent.SendFrame(packet.BroadcastMAC, nil, packet.EtherTypeControl, body)
+}

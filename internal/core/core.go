@@ -79,6 +79,8 @@ type Network struct {
 	receivers map[MAC]func(src MAC, payload []byte)
 	pingSeq   uint64
 	pingWait  map[uint64]func(rtt sim.Time)
+	mcastSeq  uint64
+	mcastWait map[uint64]func(member MAC)
 
 	booted   bool
 	group    *controller.ReplicaGroup
@@ -106,6 +108,7 @@ const (
 	kindData byte = iota + 1
 	kindEchoReq
 	kindEchoRep
+	kindMcastProbe
 )
 
 // New deploys a topology: switches and links come up, every host gets an
@@ -155,6 +158,7 @@ func New(t *topo.Topology, opts ...Option) (*Network, error) {
 		agents:            make(map[MAC]*host.Agent, len(hosts)),
 		receivers:         make(map[MAC]func(MAC, []byte)),
 		pingWait:          make(map[uint64]func(sim.Time)),
+		mcastWait:         make(map[uint64]func(MAC)),
 		simGroup:          simGroup,
 		chaosCfg:          o.chaos,
 		pendingReplicas:   o.replicas,
@@ -322,6 +326,21 @@ func (n *Network) dispatch(at, src MAC, payload []byte) {
 			n.mu.Unlock()
 			if fn != nil {
 				fn(n.agents[at].Engine().Now())
+			}
+		}
+	case kindMcastProbe:
+		if len(body) >= 8 {
+			var seq uint64
+			for i := 0; i < 8; i++ {
+				seq = seq<<8 | uint64(body[i])
+			}
+			// Probe callbacks persist: they fire once per delivering member,
+			// so duplicate deliveries are observable to the caller.
+			n.mu.Lock()
+			fn := n.mcastWait[seq]
+			n.mu.Unlock()
+			if fn != nil {
+				fn(at)
 			}
 		}
 	}

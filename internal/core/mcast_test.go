@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"dumbnet/internal/core"
+	"dumbnet/internal/topo"
+)
+
+func deployLeafSpine(t *testing.T) *core.Network {
+	t.Helper()
+	tp, err := topo.LeafSpine(3, 6, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := core.New(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestMulticastEndToEnd drives a multicast through a real leaf-spine fabric:
+// every member receives the payload exactly once, non-members never see it,
+// and the sender (a member itself) is not echoed its own frame.
+func TestMulticastEndToEnd(t *testing.T) {
+	n := deployLeafSpine(t)
+	hosts := n.Hosts()
+	members := []core.MAC{hosts[0], hosts[3], hosts[6], hosts[9]}
+	if err := n.CreateMcastGroup(7, members); err != nil {
+		t.Fatal(err)
+	}
+	n.Run() // drain the create's group-event flood before traffic
+
+	got := make(map[core.MAC]int)
+	for _, h := range hosts {
+		h := h
+		if err := n.OnReceive(h, func(src core.MAC, p []byte) {
+			if string(p) == "fanout" {
+				got[h]++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Multicast(members[0], 7, []byte("fanout")); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	for _, m := range members[1:] {
+		if got[m] != 1 {
+			t.Fatalf("member %v received %d copies, want 1", m, got[m])
+		}
+	}
+	if got[members[0]] != 0 {
+		t.Fatalf("sender echoed its own multicast %d times", got[members[0]])
+	}
+	for _, h := range hosts {
+		isMember := false
+		for _, m := range members {
+			if h == m {
+				isMember = true
+			}
+		}
+		if !isMember && got[h] != 0 {
+			t.Fatalf("non-member %v received %d copies", h, got[h])
+		}
+	}
+
+	// A second send reuses the host-cached tree (no controller fetch).
+	hits0 := mcastMetric(n, "ctrl.mcast.hit") + mcastMetric(n, "ctrl.mcast.miss")
+	if err := n.Multicast(members[0], 7, []byte("fanout")); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if total := mcastMetric(n, "ctrl.mcast.hit") + mcastMetric(n, "ctrl.mcast.miss"); total != hits0 {
+		t.Fatalf("second send consulted the controller (lookups %v -> %v)", hits0, total)
+	}
+	if got[members[1]] != 2 {
+		t.Fatalf("member received %d copies after two sends", got[members[1]])
+	}
+}
+
+func mcastMetric(n *core.Network, name string) float64 {
+	e, _ := n.Eng.Metrics().Snapshot(int64(n.Eng.Now())).Get(name)
+	return e.Value
+}
+
+// TestMulticastProbe checks the delivery sensor: the callback fires once per
+// member with the member's MAC.
+func TestMulticastProbe(t *testing.T) {
+	n := deployLeafSpine(t)
+	hosts := n.Hosts()
+	members := []core.MAC{hosts[1], hosts[4], hosts[7]}
+	if err := n.CreateMcastGroup(3, members); err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(map[core.MAC]int)
+	if err := n.MulticastProbe(hosts[1], 3, func(m core.MAC) { delivered[m]++ }); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if len(delivered) != 2 || delivered[hosts[4]] != 1 || delivered[hosts[7]] != 1 {
+		t.Fatalf("probe deliveries = %v", delivered)
+	}
+}
+
+// TestMulticastGroupErrors covers the API edges: unknown group, unknown
+// member, duplicate create, membership update taking effect.
+func TestMulticastGroupErrors(t *testing.T) {
+	n := deployLeafSpine(t)
+	hosts := n.Hosts()
+	if err := n.Multicast(hosts[0], 99, []byte("x")); err == nil {
+		t.Fatal("multicast to unknown group succeeded")
+	}
+	var nobody core.MAC
+	nobody[0] = 0xEE
+	if err := n.CreateMcastGroup(1, []core.MAC{hosts[0], nobody}); !errors.Is(err, core.ErrNoSuchHost) {
+		t.Fatalf("create with unknown member: err = %v", err)
+	}
+	if err := n.CreateMcastGroup(1, []core.MAC{hosts[0], hosts[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CreateMcastGroup(1, []core.MAC{hosts[0]}); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+
+	// Update membership: a new member starts receiving, a removed one stops.
+	counts := make(map[core.MAC]int)
+	for _, h := range []core.MAC{hosts[1], hosts[2]} {
+		h := h
+		if err := n.OnReceive(h, func(core.MAC, []byte) { counts[h]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.UpdateMcastGroup(1, []core.MAC{hosts[0], hosts[2]}); err != nil {
+		t.Fatal(err)
+	}
+	n.Run() // drain the group-event flood so the sender's stale tree is evicted
+	if err := n.Multicast(hosts[0], 1, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if counts[hosts[2]] != 1 || counts[hosts[1]] != 0 {
+		t.Fatalf("post-update deliveries = %v", counts)
+	}
+}

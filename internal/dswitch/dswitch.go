@@ -52,9 +52,12 @@ func DefaultConfig() Config {
 type Stats struct {
 	Forwarded     uint64 // data frames forwarded by tag
 	IDReplies     uint64 // ID-query replies generated
-	FloodsIn      uint64 // link-event broadcasts received
-	FloodsOut     uint64 // link-event broadcast transmissions
+	FloodsIn      uint64 // control broadcasts received (link + group events)
+	FloodsOut     uint64 // control broadcast transmissions
 	FloodsSquelch uint64 // duplicate broadcast copies dropped by storm control
+	McastIn       uint64 // multicast tree frames received
+	McastFanout   uint64 // multicast branch copies transmitted
+	DropBadMcast   uint64 // multicast frames with malformed trees
 	DropNoPort     uint64 // tag named an unwired or out-of-range port
 	DropLinkDown   uint64 // tag named a port whose link is down
 	DropBadFrame   uint64 // unparseable frames
@@ -200,10 +203,15 @@ func (s *Switch) Receive(inPort int, frame []byte) {
 		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropSwitchDown, frame)
 		return
 	}
-	if len(frame) >= packet.EthernetHeaderLen &&
-		EtherTypeOf(frame) == packet.EtherTypeMPLS {
-		s.receiveMPLS(frame)
-		return
+	if len(frame) >= packet.EthernetHeaderLen {
+		switch EtherTypeOf(frame) {
+		case packet.EtherTypeMPLS:
+			s.receiveMPLS(frame)
+			return
+		case packet.EtherTypeDumbNetMcast:
+			s.receiveMcast(frame)
+			return
+		}
 	}
 	tag, err := packet.TopTag(frame)
 	if err != nil {
@@ -277,6 +285,35 @@ func (s *Switch) handleIDQueryMPLS(frame []byte) {
 		return
 	}
 	s.transmit(int(returnPath[0]), buf, &s.stats.IDReplies)
+}
+
+// receiveMcast is the replicate-and-forward stage: pop the top tree block
+// and transmit one copy per branch, each carrying only that branch's
+// subtree. Like unicast forwarding it is stateless and allocation-free —
+// branch frames come from the frame pool and the fully-consumed original
+// goes back to it. Init validates the whole block before the first copy
+// goes out, so a malformed tree forks nothing.
+func (s *Switch) receiveMcast(frame []byte) {
+	var it packet.McastBranches
+	if err := it.Init(frame); err != nil {
+		s.stats.DropBadMcast++
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropBadFrame, frame)
+		return
+	}
+	s.stats.McastIn++
+	tail := it.Tail()
+	now := int64(s.eng.Now())
+	for it.Next() {
+		sub := it.Sub()
+		buf := packet.GetBuffer(packet.McastBranchLen(len(sub), len(tail)))
+		packet.BuildMcastBranch(buf, frame, sub, tail)
+		if s.transmit(int(it.Port()), buf, &s.stats.McastFanout) {
+			s.eng.Tracer().PacketHop(now, int64(s.cfg.ForwardDelay), s.id, it.Port(), buf)
+		}
+	}
+	// Every branch copied what it needed; the original is dead. The link
+	// layer hands off frame ownership at Receive, so recycling is safe.
+	packet.PutBuffer(frame)
 }
 
 // forward pops the top tag and transmits out that port after the pipeline
@@ -380,28 +417,57 @@ func (s *Switch) handleEndOfPath(inPort int, frame []byte) {
 		return
 	}
 	t, msg, err := packet.DecodeControl(f.Payload)
-	if err != nil || t != packet.MsgLinkEvent {
+	if err != nil {
 		s.stats.DropEndOfPath++
 		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropEndOfPath, frame)
 		return
 	}
-	ev := msg.(*packet.LinkEvent)
-	s.stats.FloodsIn++
-	if ev.HopsLeft == 0 {
-		return
+	switch t {
+	case packet.MsgLinkEvent:
+		ev := msg.(*packet.LinkEvent)
+		s.stats.FloodsIn++
+		if ev.HopsLeft == 0 {
+			return
+		}
+		if s.floodSeenBefore(floodKindLink, uint32(ev.Switch), ev.Port, ev.Seq, ev.Up) {
+			s.stats.FloodsSquelch++
+			return
+		}
+		ev.HopsLeft--
+		s.floodLinkEvent(ev, inPort)
+	case packet.MsgGroupEvent:
+		ev := msg.(*packet.GroupEvent)
+		s.stats.FloodsIn++
+		if ev.HopsLeft == 0 {
+			return
+		}
+		if s.floodSeenBefore(floodKindGroup, ev.Group, 0, ev.Gen, false) {
+			s.stats.FloodsSquelch++
+			return
+		}
+		ev.HopsLeft--
+		s.floodGroupEvent(ev, inPort)
+	default:
+		s.stats.DropEndOfPath++
+		s.eng.Tracer().PacketDrop(int64(s.eng.Now()), s.id, trace.DropEndOfPath, frame)
 	}
-	if s.floodSeenBefore(ev) {
-		s.stats.FloodsSquelch++
-		return
-	}
-	ev.HopsLeft--
-	s.floodLinkEvent(ev, inPort)
 }
+
+// Storm-control signature kinds. The table is shared by every flooded
+// control event type, so the kind is part of the signature: without it a
+// group event whose (group, gen) happened to collide with a link event's
+// (switch, seq) in the same slot would be squelched as a duplicate —
+// storm control silently eating legitimate tree-maintenance traffic.
+const (
+	floodKindLink uint8 = iota + 1
+	floodKindGroup
+)
 
 // floodSig is one storm-control signature; HopsLeft is deliberately
 // excluded so copies arriving over different-length paths still match.
 type floodSig struct {
-	sw   packet.SwitchID
+	kind uint8
+	sw   uint32
 	port packet.Tag
 	seq  uint64
 	up   bool
@@ -411,14 +477,40 @@ type floodSig struct {
 // floodSeenBefore checks the storm-control table for the event's signature
 // and records it when absent. Returns true if this switch already forwarded
 // (or originated) the event.
-func (s *Switch) floodSeenBefore(ev *packet.LinkEvent) bool {
-	sig := floodSig{sw: ev.Switch, port: ev.Port, seq: ev.Seq, up: ev.Up, used: true}
-	slot := (uint64(ev.Switch)*2654435761 + uint64(ev.Port)*40503 + ev.Seq*2246822519) % uint64(len(s.floodSeen))
+func (s *Switch) floodSeenBefore(kind uint8, sw uint32, port packet.Tag, seq uint64, up bool) bool {
+	sig := floodSig{kind: kind, sw: sw, port: port, seq: seq, up: up, used: true}
+	slot := (uint64(sw)*2654435761 + uint64(port)*40503 + seq*2246822519 + uint64(kind)*97) % uint64(len(s.floodSeen))
 	if s.floodSeen[slot] == sig {
 		return true
 	}
 	s.floodSeen[slot] = sig
 	return false
+}
+
+// floodGroupEvent re-floods a group-generation notice out every up port
+// except exceptPort, exactly like a link event.
+func (s *Switch) floodGroupEvent(ev *packet.GroupEvent, exceptPort int) {
+	body, err := packet.EncodeControl(packet.MsgGroupEvent, ev)
+	if err != nil {
+		return
+	}
+	f := packet.Frame{
+		Dst:       packet.BroadcastMAC,
+		Tags:      nil,
+		InnerType: packet.EtherTypeControl,
+		Payload:   body,
+	}
+	need := packet.EncodedLen(0, len(body))
+	for port := 1; port < len(s.links); port++ {
+		if port == exceptPort || s.links[port] == nil || !s.links[port].Up() {
+			continue
+		}
+		buf := packet.GetBuffer(need)
+		if _, err := f.EncodeTo(buf); err != nil {
+			return
+		}
+		s.transmit(port, buf, &s.stats.FloodsOut)
+	}
 }
 
 // floodLinkEvent sends a link-event broadcast out every up port except
@@ -504,6 +596,6 @@ func (s *Switch) sendAlarm(port int, up bool) {
 	}
 	// Record our own alarm in the storm-control table so copies echoed back
 	// around fabric cycles die here instead of re-flooding.
-	s.floodSeenBefore(ev)
+	s.floodSeenBefore(floodKindLink, uint32(ev.Switch), ev.Port, ev.Seq, ev.Up)
 	s.floodLinkEvent(ev, 0)
 }

@@ -1,0 +1,256 @@
+package dswitch_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dumbnet/internal/dswitch"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/trace"
+)
+
+// recycleSink counts deliveries and returns each frame to the packet pool,
+// balancing the buffers the switch draws when it forks — the same lifecycle
+// a real host gives multicast frames after decoding them.
+type recycleSink struct {
+	n       int
+	payload []byte // last delivered payload (copied)
+}
+
+func (s *recycleSink) Receive(_ int, frame []byte) {
+	s.n++
+	var f packet.Frame
+	if err := packet.DecodeMcastFrom(&f, frame); err == nil {
+		s.payload = append(s.payload[:0], f.Payload...)
+	}
+	packet.PutBuffer(frame)
+}
+
+// mcastFanoutHop wires src -> switch -> {fanout sinks} and returns a replay
+// closure plus the sinks. The tree is one block fanning out to every sink
+// port (pure replicate-and-forward, no second level).
+func mcastFanoutHop(tb testing.TB, rec *trace.Recorder, fanout int) (send func(), sinks []*recycleSink) {
+	tb.Helper()
+	eng := sim.NewEngine(1)
+	if rec != nil {
+		eng.SetTracer(rec)
+	}
+	sw := dswitch.New(eng, 1, fanout+1, dswitch.DefaultConfig())
+	src := &recycleSink{}
+	lcfg := sim.LinkConfig{PropDelay: 500 * sim.Nanosecond, BandwidthBps: 10e9}
+	up := sim.NewLink(eng, src, 1, sw, 1, lcfg)
+	sw.AttachLink(1, up)
+	var hops []packet.TreeHop
+	for i := 0; i < fanout; i++ {
+		port := i + 2
+		sink := &recycleSink{}
+		sinks = append(sinks, sink)
+		l := sim.NewLink(eng, sw, port, sink, 1, lcfg)
+		sw.AttachLink(port, l)
+		hops = append(hops, packet.TreeHop{Port: packet.Tag(port)})
+	}
+	tree, err := packet.EncodeTree(hops)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	master := make([]byte, packet.EncodedLenMcast(len(tree), len(payload)))
+	if _, err := packet.EncodeMcastTo(master, packet.McastMAC(7), packet.MACFromUint64(1), 0, tree, packet.EtherTypeIPv4, payload); err != nil {
+		tb.Fatal(err)
+	}
+	return func() {
+		// The sender draws from the pool like a real host; the switch
+		// recycles it once every branch is forked.
+		buf := packet.GetBuffer(len(master))
+		copy(buf, master)
+		up.SendFrom(src, buf)
+		eng.Run()
+	}, sinks
+}
+
+func TestMcastFork(t *testing.T) {
+	send, sinks := mcastFanoutHop(t, nil, 3)
+	send()
+	for i, s := range sinks {
+		if s.n != 1 {
+			t.Errorf("sink %d received %d frames, want 1", i, s.n)
+		}
+		if len(s.payload) != 1024 {
+			t.Errorf("sink %d payload %d bytes, want 1024", i, len(s.payload))
+		}
+	}
+}
+
+// TestMcastTwoLevelFork checks that a forked branch frame is itself a valid
+// multicast frame for the next switch: root forks to a host and to a second
+// switch, which forks to two hosts.
+func TestMcastTwoLevelFork(t *testing.T) {
+	eng := sim.NewEngine(1)
+	lcfg := sim.LinkConfig{PropDelay: 500 * sim.Nanosecond, BandwidthBps: 10e9}
+	sw1 := dswitch.New(eng, 1, 4, dswitch.DefaultConfig())
+	sw2 := dswitch.New(eng, 2, 4, dswitch.DefaultConfig())
+	src, h1, h2, h3 := &recycleSink{}, &recycleSink{}, &recycleSink{}, &recycleSink{}
+
+	up := sim.NewLink(eng, src, 1, sw1, 1, lcfg)
+	sw1.AttachLink(1, up)
+	sw1.AttachLink(2, sim.NewLink(eng, sw1, 2, h1, 1, lcfg))
+	trunk := sim.NewLink(eng, sw1, 3, sw2, 1, lcfg)
+	sw1.AttachLink(3, trunk)
+	sw2.AttachLink(1, trunk)
+	sw2.AttachLink(2, sim.NewLink(eng, sw2, 2, h2, 1, lcfg))
+	sw2.AttachLink(3, sim.NewLink(eng, sw2, 3, h3, 1, lcfg))
+
+	tree, err := packet.EncodeTree([]packet.TreeHop{
+		{Port: 2},
+		{Port: 3, Sub: []packet.TreeHop{{Port: 2}, {Port: 3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("allreduce-chunk")
+	buf := packet.GetBuffer(packet.EncodedLenMcast(len(tree), len(want)))
+	if _, err := packet.EncodeMcastTo(buf, packet.McastMAC(1), packet.MACFromUint64(9), 0, tree, packet.EtherTypeIPv4, want); err != nil {
+		t.Fatal(err)
+	}
+	up.SendFrom(src, buf)
+	eng.Run()
+
+	for i, h := range []*recycleSink{h1, h2, h3} {
+		if h.n != 1 {
+			t.Fatalf("host %d received %d frames, want 1", i+1, h.n)
+		}
+		if !bytes.Equal(h.payload, want) {
+			t.Fatalf("host %d payload %q, want %q", i+1, h.payload, want)
+		}
+	}
+	if s := sw1.Stats(); s.McastIn != 1 || s.McastFanout != 2 {
+		t.Fatalf("sw1 mcast stats = %+v", s)
+	}
+	if s := sw2.Stats(); s.McastIn != 1 || s.McastFanout != 2 {
+		t.Fatalf("sw2 mcast stats = %+v", s)
+	}
+}
+
+// TestMcastMalformedForksNothing: a frame whose tree fails validation must
+// be dropped whole — zero copies, DropBadMcast counted.
+func TestMcastMalformedForksNothing(t *testing.T) {
+	send, sinks := mcastFanoutHop(t, nil, 2)
+	send() // sanity: harness delivers
+	eng := sim.NewEngine(1)
+	_ = eng
+	// Rebuild a frame and corrupt the branch count so tiling fails.
+	tree, err := packet.EncodeTree([]packet.TreeHop{{Port: 2}, {Port: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh single-switch harness to inspect stats directly.
+	eng2 := sim.NewEngine(1)
+	sw := dswitch.New(eng2, 1, 3, dswitch.DefaultConfig())
+	lcfg := sim.LinkConfig{PropDelay: sim.Nanosecond, BandwidthBps: 10e9}
+	a, b := &recycleSink{}, &recycleSink{}
+	sw.AttachLink(2, sim.NewLink(eng2, sw, 2, a, 1, lcfg))
+	sw.AttachLink(3, sim.NewLink(eng2, sw, 3, b, 1, lcfg))
+	frame := make([]byte, packet.EncodedLenMcast(len(tree), 4))
+	if _, err := packet.EncodeMcastTo(frame, packet.McastMAC(1), packet.MACFromUint64(1), 0, tree, packet.EtherTypeIPv4, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	frame[17] = 9 // branch count no longer tiles the tree region
+	sw.Receive(1, frame)
+	eng2.Run()
+	if a.n != 0 || b.n != 0 {
+		t.Fatalf("malformed tree forked copies: %d, %d", a.n, b.n)
+	}
+	if s := sw.Stats(); s.DropBadMcast != 1 || s.McastFanout != 0 {
+		t.Fatalf("stats = %+v, want DropBadMcast=1 McastFanout=0", s)
+	}
+	_ = sinks
+}
+
+// TestMcastForwardZeroAlloc is the CI alloc guard on the replicate path:
+// with tracing disabled, forking a frame to 3 ports performs zero heap
+// allocations — branch frames come from and return to the packet pool.
+func TestMcastForwardZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation heap-escapes the fork path; the strict guard runs in the non-race bench-smoke job")
+	}
+	send, sinks := mcastFanoutHop(t, nil, 3)
+	send() // warm event + buffer pools
+	if allocs := testing.AllocsPerRun(500, send); allocs != 0 {
+		t.Errorf("mcast replicate path allocated %.1f/op, want 0", allocs)
+	}
+	for i, s := range sinks {
+		if s.n == 0 {
+			t.Fatalf("sink %d never received a frame — harness is broken", i)
+		}
+	}
+}
+
+func BenchmarkMcastFanout(b *testing.B) {
+	send, _ := mcastFanoutHop(b, nil, 3)
+	send()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+	}
+}
+
+// endOfPathFrame wraps a control payload in an immediately-terminated
+// DumbNet frame, as flooded events arrive at a switch.
+func endOfPathFrame(t *testing.T, msgType packet.MsgType, msg any) []byte {
+	t.Helper()
+	body, err := packet.EncodeControl(msgType, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := packet.Frame{
+		Dst:       packet.BroadcastMAC,
+		Tags:      nil,
+		InnerType: packet.EtherTypeControl,
+		Payload:   body,
+	}
+	buf, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestFloodCAMKeyedByKind is the regression test for the latent storm-
+// control bug: the 128-entry signature CAM was shared across event kinds
+// with no kind in the signature, so a group event whose (group, gen)
+// mirrored a link event's (switch, seq) hashed to the same slot and was
+// squelched as a duplicate. Signatures now carry the event kind: colliding
+// field values across kinds both flood; true same-kind duplicates still
+// squelch.
+func TestFloodCAMKeyedByKind(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := dswitch.New(eng, 1, 3, dswitch.DefaultConfig())
+	lcfg := sim.LinkConfig{PropDelay: sim.Nanosecond, BandwidthBps: 10e9}
+	a, b := &recycleSink{}, &recycleSink{}
+	sw.AttachLink(2, sim.NewLink(eng, sw, 2, a, 1, lcfg))
+	sw.AttachLink(3, sim.NewLink(eng, sw, 3, b, 1, lcfg))
+
+	// Identical field values across kinds: link (switch=5, port=0, seq=9,
+	// up=false) vs group (group=5, gen=9) — the exact shape the shared CAM
+	// conflated.
+	link := endOfPathFrame(t, packet.MsgLinkEvent, &packet.LinkEvent{Switch: 5, Port: 0, Up: false, Seq: 9, HopsLeft: 3})
+	group := endOfPathFrame(t, packet.MsgGroupEvent, &packet.GroupEvent{Group: 5, Gen: 9, HopsLeft: 3})
+
+	sw.Receive(1, append([]byte(nil), link...))
+	if s := sw.Stats(); s.FloodsOut != 2 || s.FloodsSquelch != 0 {
+		t.Fatalf("after link event: %+v, want FloodsOut=2", s)
+	}
+	sw.Receive(1, append([]byte(nil), group...))
+	if s := sw.Stats(); s.FloodsOut != 4 || s.FloodsSquelch != 0 {
+		t.Fatalf("after group event: %+v, want FloodsOut=4 Squelch=0 (cross-kind collision squelched legitimate tree traffic)", s)
+	}
+	// Same-kind duplicates must still be suppressed.
+	sw.Receive(1, append([]byte(nil), link...))
+	sw.Receive(1, append([]byte(nil), group...))
+	if s := sw.Stats(); s.FloodsOut != 4 || s.FloodsSquelch != 2 {
+		t.Fatalf("after duplicates: %+v, want FloodsOut=4 Squelch=2", s)
+	}
+	eng.Run()
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package dswitch_test
+
+// raceEnabled reports whether the test binary was built with -race.
+const raceEnabled = false

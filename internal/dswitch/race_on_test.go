@@ -1,0 +1,8 @@
+//go:build race
+
+package dswitch_test
+
+// raceEnabled reports whether the test binary was built with -race. Alloc
+// guards skip their strict assertions under race: instrumentation blocks
+// inlining on the fork path and heap-escapes otherwise stack-bound values.
+const raceEnabled = true

@@ -116,6 +116,10 @@ type Stats struct {
 	CEReceived        uint64 // frames that arrived with the CE mark
 	CongestionEchoes  uint64 // echoes sent back to marking senders
 	CongestionNotices uint64 // echoes received about our own traffic
+
+	McastSent     uint64 // multicast frames transmitted
+	McastReceived uint64 // multicast frames delivered to the application
+	GroupEventsIn uint64 // group-membership events processed
 }
 
 // Errors.
@@ -193,6 +197,7 @@ type Agent struct {
 	lastEcho     map[packet.MAC]sim.Time
 	bh           map[packet.MAC]*bhState // blackhole detector state per destination
 	suspect      map[HopRef]sim.Time     // blackhole-suspected hops → expiry
+	mcastTrees   map[uint32][]byte       // group -> cached encoded tree
 
 	// OnData delivers application payloads (src, innerType, payload).
 	OnData func(src packet.MAC, innerType uint16, payload []byte)
@@ -279,6 +284,7 @@ func New(eng *sim.Engine, mac packet.MAC, cfg Config) *Agent {
 		lastEcho:    make(map[packet.MAC]sim.Time),
 		bh:          make(map[packet.MAC]*bhState),
 		suspect:     make(map[HopRef]sim.Time),
+		mcastTrees:  make(map[uint32][]byte),
 	}
 	a.table = NewPathTable(cfg.KPaths)
 	a.Chooser = NewStickyChooser()
@@ -472,6 +478,12 @@ func (a *Agent) Receive(port int, frame []byte) {
 	if len(frame) >= packet.EthernetHeaderLen &&
 		frame[12] == byte(packet.EtherTypeMPLS>>8) && frame[13] == byte(packet.EtherTypeMPLS&0xFF) {
 		err = packet.DecodeMPLSFrom(&d.f, frame)
+	} else if len(frame) >= packet.EthernetHeaderLen &&
+		frame[12] == byte(packet.EtherTypeDumbNetMcast>>8) && frame[13] == byte(packet.EtherTypeDumbNetMcast&0xFF) {
+		// A multicast frame reaching a host must have its tree fully
+		// consumed (the switch pops one level per fork); DecodeMcastFrom
+		// rejects anything mid-tree.
+		err = packet.DecodeMcastFrom(&d.f, frame)
 	} else {
 		err = packet.DecodeFrom(&d.f, frame)
 	}
@@ -495,6 +507,9 @@ func (a *Agent) deliver(f *packet.Frame) {
 	a.noteRx(f.Src)
 	if f.InnerType != packet.EtherTypeControl {
 		a.stats.Received++
+		if f.Dst[0] == 0x33 && f.Dst[1] == 0x33 {
+			a.stats.McastReceived++
+		}
 		if a.OnData != nil {
 			a.OnData(f.Src, f.InnerType, f.Payload)
 		}
@@ -524,6 +539,8 @@ func (a *Agent) deliver(f *packet.Frame) {
 		a.handleCongestion(msg.(*packet.Congestion))
 	case packet.MsgCtrlList:
 		a.handleCtrlList(msg.(*packet.CtrlList))
+	case packet.MsgGroupEvent:
+		a.handleGroupEvent(msg.(*packet.GroupEvent))
 	case packet.MsgData:
 		blob := msg.(*packet.Blob)
 		a.stats.Received++

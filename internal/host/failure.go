@@ -144,6 +144,9 @@ func (a *Agent) handleTopoPatch(blob *packet.Blob) {
 	}
 	p.Apply(a.cache)
 	a.stats.PatchesAppled++
+	// Cached multicast trees may cross links this patch removed; drop them
+	// all and let senders re-fetch against the patched view.
+	a.dropAllMcastTrees()
 	// Re-validate cached routes: recompute entries whose paths vanished
 	// from the cache (a patch may remove links not seen via stage 1).
 	for _, dst := range a.table.Destinations() {

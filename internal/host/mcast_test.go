@@ -1,0 +1,146 @@
+package host_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dumbnet/internal/host"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+func sampleWireTree(t *testing.T) []byte {
+	t.Helper()
+	wire, err := packet.EncodeTree([]packet.TreeHop{
+		{Port: 2},
+		{Port: 3, Sub: []packet.TreeHop{{Port: 4}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestMcastTreeCacheLifecycle(t *testing.T) {
+	eng, a := soloAgent(t, host.DefaultConfig())
+	wire := sampleWireTree(t)
+
+	if _, ok := a.McastTree(9); ok {
+		t.Fatal("empty cache reported a tree")
+	}
+	if err := a.SendMcast(9, packet.EtherTypeIPv4, []byte("x")); !errors.Is(err, host.ErrNoTree) {
+		t.Fatalf("send without tree: err = %v, want ErrNoTree", err)
+	}
+	a.SetMcastTree(9, wire)
+	got, ok := a.McastTree(9)
+	if !ok || !bytes.Equal(got, wire) {
+		t.Fatalf("McastTree = %x, %v", got, ok)
+	}
+	// The cache must hold a private copy.
+	wire[0] ^= 0xFF
+	if got, _ := a.McastTree(9); got[0] == wire[0] {
+		t.Fatal("cache aliases the caller's bytes")
+	}
+
+	// A group event evicts only its group.
+	a.SetMcastTree(10, sampleWireTree(t))
+	injectControl(t, eng, a, packet.MsgGroupEvent, &packet.GroupEvent{Group: 9, Gen: 2, HopsLeft: 1})
+	if _, ok := a.McastTree(9); ok {
+		t.Fatal("group event did not evict the tree")
+	}
+	if _, ok := a.McastTree(10); !ok {
+		t.Fatal("group event evicted an unrelated group")
+	}
+	if a.Stats().GroupEventsIn != 1 {
+		t.Fatalf("GroupEventsIn = %d", a.Stats().GroupEventsIn)
+	}
+
+	// A topology patch evicts everything.
+	a.SetMcastTree(9, sampleWireTree(t))
+	patch := &topo.Patch{Version: 100, Ops: []topo.PatchOp{{Kind: topo.OpLinkDown, Switch: 5, Port: 2}}}
+	injectControl(t, eng, a, packet.MsgTopoPatch, &packet.Blob{Body: patch.Marshal()})
+	if a.McastTreeCount() != 0 {
+		t.Fatalf("trees cached after topo patch = %d, want 0", a.McastTreeCount())
+	}
+}
+
+// frameSink records raw frames a link delivers.
+type frameSink struct {
+	frames [][]byte
+}
+
+func (s *frameSink) Receive(_ int, frame []byte) {
+	s.frames = append(s.frames, append([]byte(nil), frame...))
+}
+
+// TestSendMcastWireFormat sends through a real uplink and checks the frame
+// on the wire: multicast ethertype, group MAC, the cached tree verbatim.
+func TestSendMcastWireFormat(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := host.New(eng, packet.MACFromUint64(4), host.DefaultConfig())
+	sink := &frameSink{}
+	l := sim.NewLink(eng, a, 1, sink, 1, sim.LinkConfig{PropDelay: sim.Nanosecond, BandwidthBps: 10e9})
+	a.SetUplink(l)
+
+	wire := sampleWireTree(t)
+	a.SetMcastTree(3, wire)
+	payload := []byte("collective-chunk")
+	if err := a.SendMcast(3, packet.EtherTypeIPv4, payload); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(sink.frames) != 1 {
+		t.Fatalf("frames on wire = %d, want 1", len(sink.frames))
+	}
+	frame := sink.frames[0]
+	var it packet.McastBranches
+	if err := it.Init(frame); err != nil {
+		t.Fatalf("frame is not a valid multicast frame: %v", err)
+	}
+	if want := packet.McastMAC(3); !bytes.Equal(frame[0:6], want[:]) {
+		t.Fatalf("dst = %x, want %v", frame[0:6], want)
+	}
+	if a.Stats().McastSent != 1 {
+		t.Fatalf("McastSent = %d", a.Stats().McastSent)
+	}
+}
+
+// TestReceiveMcastFrame: a tree-consumed multicast frame is delivered to
+// OnData like unicast data; a mid-tree frame is dropped as a bad frame.
+func TestReceiveMcastFrame(t *testing.T) {
+	eng, a := soloAgent(t, host.DefaultConfig())
+	var gotSrc packet.MAC
+	var gotPayload []byte
+	a.OnData = func(src packet.MAC, innerType uint16, payload []byte) {
+		gotSrc = src
+		gotPayload = append([]byte(nil), payload...)
+	}
+	payload := []byte("delivered")
+	buf := make([]byte, packet.EncodedLenMcast(0, len(payload)))
+	if _, err := packet.EncodeMcastTo(buf, packet.McastMAC(8), packet.MACFromUint64(2), 0, nil, packet.EtherTypeIPv4, payload); err != nil {
+		t.Fatal(err)
+	}
+	a.Receive(0, buf)
+	eng.Run()
+	if !bytes.Equal(gotPayload, payload) || gotSrc != packet.MACFromUint64(2) {
+		t.Fatalf("delivered (%v, %q)", gotSrc, gotPayload)
+	}
+	if s := a.Stats(); s.McastReceived != 1 {
+		t.Fatalf("McastReceived = %d", s.McastReceived)
+	}
+
+	// Mid-tree frame (unconsumed tree): must be dropped, not delivered.
+	wire := sampleWireTree(t)
+	mid := make([]byte, packet.EncodedLenMcast(len(wire), len(payload)))
+	if _, err := packet.EncodeMcastTo(mid, packet.McastMAC(8), packet.MACFromUint64(2), 0, wire, packet.EtherTypeIPv4, payload); err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Stats().BadFrames
+	a.Receive(0, mid)
+	eng.Run()
+	if s := a.Stats(); s.BadFrames != bad+1 || s.McastReceived != 1 {
+		t.Fatalf("mid-tree frame: BadFrames %d->%d, McastReceived %d", bad, s.BadFrames, s.McastReceived)
+	}
+}

@@ -1,0 +1,189 @@
+package mcast
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+
+	"dumbnet/internal/packet"
+	"dumbnet/internal/topo"
+)
+
+func leafSpine(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.LeafSpine(3, 6, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func hostMAC(i int) packet.MAC { return packet.MACFromUint64(uint64(i) + 1) }
+
+func TestBuildTreeBasic(t *testing.T) {
+	tp := leafSpine(t)
+	src := hostMAC(1)
+	members := []packet.MAC{hostMAC(3), hostMAC(5), hostMAC(7), hostMAC(11)}
+	tree, err := BuildTree(tp, 1, src, members, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(tp); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(tree.Members) != len(members) {
+		t.Fatalf("members = %v", tree.Members)
+	}
+	// Leaf-spine switch diameter is 2, so depth (with the host hop) is <= 3.
+	if tree.Depth < 1 || tree.Depth > 3 {
+		t.Fatalf("depth = %d", tree.Depth)
+	}
+	if err := packet.ValidateTreeWire(tree.Wire()); err != nil {
+		t.Fatalf("wire: %v", err)
+	}
+}
+
+func TestBuildTreeDedupesAndExcludesSource(t *testing.T) {
+	tp := leafSpine(t)
+	src := hostMAC(1)
+	tree, err := BuildTree(tp, 1, src, []packet.MAC{src, hostMAC(4), hostMAC(4), hostMAC(2)}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Members) != 2 {
+		t.Fatalf("members = %v, want 2 after dedupe and source exclusion", tree.Members)
+	}
+	if err := tree.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTreeErrors(t *testing.T) {
+	tp := leafSpine(t)
+	if _, err := BuildTree(tp, 1, packet.MACFromUint64(999), []packet.MAC{hostMAC(1)}, 1, nil); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := BuildTree(tp, 1, hostMAC(1), []packet.MAC{hostMAC(1)}, 1, nil); !errors.Is(err, ErrNoMembers) {
+		t.Errorf("source-only group: err = %v, want ErrNoMembers", err)
+	}
+	// Unreachable member: two unconnected switches.
+	split := topo.New()
+	for _, id := range []topo.SwitchID{1, 2} {
+		if err := split.AddSwitch(id, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := split.AttachHost(hostMAC(1), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := split.AttachHost(hostMAC(2), 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildTree(split, 1, hostMAC(1), []packet.MAC{hostMAC(2)}, 1, nil); !errors.Is(err, topo.ErrNoPath) {
+		t.Errorf("unreachable member: err = %v, want ErrNoPath", err)
+	}
+}
+
+// TestBuildTreeDeterminismGolden locks the builder's output bit-for-bit:
+// the same (topology, source, members, seed) must encode to the identical
+// wire tree across runs and refactors — the chaos digest and the cache's
+// generation discipline both assume it. If an intentional builder change
+// lands, regenerate the golden with `go test -run Golden -v` and update.
+func TestBuildTreeDeterminismGolden(t *testing.T) {
+	tp := leafSpine(t)
+	src := hostMAC(1)
+	members := []packet.MAC{hostMAC(2), hostMAC(5), hostMAC(9), hostMAC(10), hostMAC(11)}
+	a, err := BuildTree(tp, 7, src, members, 1234, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTree(tp, 7, src, members, 1234, topo.NewDenseScratch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Wire(), b.Wire()) {
+		t.Fatalf("same-seed rebuild diverged:\n%x\n%x", a.Wire(), b.Wire())
+	}
+	const golden = "0202000005001903030004010100000500070201000002000006000401010000"
+	if got := hex.EncodeToString(a.Wire()); got != golden {
+		t.Errorf("tree wire = %s, want golden %s", got, golden)
+	}
+	// Shuffled member order must not change the tree.
+	shuffled := []packet.MAC{hostMAC(11), hostMAC(9), hostMAC(2), hostMAC(10), hostMAC(5)}
+	c, err := BuildTree(tp, 7, src, shuffled, 1234, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Wire(), c.Wire()) {
+		t.Fatal("member order changed the tree")
+	}
+}
+
+func TestTreeClone(t *testing.T) {
+	tp := leafSpine(t)
+	tree, err := BuildTree(tp, 1, hostMAC(1), []packet.MAC{hostMAC(3)}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tree.Clone()
+	c.Members[0] = packet.MACFromUint64(99)
+	c.Wire()[0] ^= 0xFF
+	if tree.Members[0] == c.Members[0] || tree.Wire()[0] == c.Wire()[0] {
+		t.Fatal("Clone shares mutable state with the original")
+	}
+}
+
+// TestValidateCatchesStaleTree: a tree built on one topology must fail
+// validation against a view where a tree link is gone — the check the chaos
+// auditor uses to prove caches are invalidated on topoGen bumps.
+func TestValidateCatchesStaleTree(t *testing.T) {
+	tp := leafSpine(t)
+	src := hostMAC(1)
+	var members []packet.MAC
+	for i := 2; i <= 12; i++ {
+		members = append(members, hostMAC(i))
+	}
+	tree, err := BuildTree(tp, 1, src, members, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the first switch-switch edge the tree uses.
+	var cutFrom topo.SwitchID
+	var cutPort topo.Port
+	var find func(sw topo.SwitchID, hops []packet.TreeHop) bool
+	find = func(sw topo.SwitchID, hops []packet.TreeHop) bool {
+		for _, h := range hops {
+			if len(h.Sub) > 0 {
+				cutFrom, cutPort = sw, topo.Port(h.Port)
+				return true
+			}
+		}
+		for _, h := range hops {
+			if len(h.Sub) > 0 {
+				ep, _ := tp.EndpointAt(sw, topo.Port(h.Port))
+				if find(ep.Switch, h.Sub) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !find(tree.Root, tree.Hops) {
+		t.Fatal("tree has no switch-switch edge")
+	}
+	ep, err := tp.EndpointAt(cutFrom, cutPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Disconnect(cutFrom, cutPort); err != nil {
+		t.Fatal(err)
+	}
+	_ = ep
+	if err := tree.Validate(tp); err == nil {
+		t.Fatal("stale tree validated against a topology missing one of its links")
+	}
+}

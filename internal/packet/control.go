@@ -56,6 +56,11 @@ const (
 	MsgStatsRequest
 	// MsgStatsReply is the switch's counter snapshot.
 	MsgStatsReply
+	// MsgGroupEvent is a multicast-group generation notice, flooded with a
+	// hop limit like a link event: the controller bumps a group's
+	// generation on membership change or tree repair and hosts drop their
+	// cached sender trees for that group.
+	MsgGroupEvent
 )
 
 // String names the message type.
@@ -87,6 +92,8 @@ func (t MsgType) String() string {
 		return "stats-request"
 	case MsgStatsReply:
 		return "stats-reply"
+	case MsgGroupEvent:
+		return "group-event"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -151,6 +158,15 @@ type StatsReply struct {
 	Dropped   uint64
 	Marked    uint64 // ECN marks applied
 	Floods    uint64 // link-event broadcast transmissions
+}
+
+// GroupEvent announces a multicast group's new generation. It floods the
+// fabric hop-limited exactly like a LinkEvent; hosts that cache a sender
+// tree for Group drop it and refetch from the controller.
+type GroupEvent struct {
+	Group    uint32
+	Gen      uint64 // group generation after the change (0 = deleted)
+	HopsLeft uint8  // flood hop limit, decremented per switch
 }
 
 // Congestion is the ECN echo payload.
@@ -285,6 +301,14 @@ func EncodeControl(t MsgType, msg any) ([]byte, error) {
 			putMAC(r.MAC)
 			putPath(r.Path)
 		}
+	case MsgGroupEvent:
+		m, ok := msg.(*GroupEvent)
+		if !ok {
+			return nil, ErrBadControlMsg
+		}
+		put32(m.Group)
+		put64(m.Gen)
+		put8(m.HopsLeft)
 	case MsgPathResponse, MsgTopoPatch, MsgHostFlood, MsgData:
 		m, ok := msg.(*Blob)
 		if !ok {
@@ -502,6 +526,19 @@ func DecodeControl(b []byte) (MsgType, any, error) {
 				return fail()
 			}
 			m.Replicas = append(m.Replicas, r)
+		}
+		return t, &m, nil
+	case MsgGroupEvent:
+		var m GroupEvent
+		var ok bool
+		if m.Group, ok = get32(); !ok {
+			return fail()
+		}
+		if m.Gen, ok = get64(); !ok {
+			return fail()
+		}
+		if m.HopsLeft, ok = get8(); !ok {
+			return fail()
 		}
 		return t, &m, nil
 	case MsgPathResponse, MsgTopoPatch, MsgHostFlood, MsgData:

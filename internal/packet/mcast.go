@@ -1,0 +1,415 @@
+// Multicast wire format: source-routed replicate-and-forward trees.
+//
+// DumbNet's unicast header carries a linear tag stack — one output port per
+// hop. The multicast header generalises the stack to a *tree*: each switch
+// receives the subtree rooted at itself, forks the frame once per branch
+// (each branch names one egress port), and forwards each copy carrying only
+// that branch's subtree. Popping a level is constant work per branch and the
+// switch keeps no group tables — the fabric stays dumb, exactly as for
+// unicast (paper §3.2 extended per ROADMAP "source-routed multicast").
+//
+// Frame layout:
+//
+//	dst(6) src(6) 0x9802(2) flags(1) treeLen(2) tree[treeLen] innerType(2) payload
+//
+// Tree encoding (preorder, recursive):
+//
+//	block  := count(1) branch*count
+//	branch := port(1) subLen(2) block[subLen]
+//
+// A branch with subLen == 0 delivers to a host on that port. A host
+// therefore receives a frame whose treeLen is 0 — the multicast analogue of
+// the ø end-of-path marker.
+package packet
+
+import "encoding/binary"
+
+// EtherTypeDumbNetMcast marks a frame whose header carries a DumbNet
+// replicate-and-forward tree instead of a linear tag stack.
+const EtherTypeDumbNetMcast uint16 = 0x9802
+
+// mcastHeaderLen is the fixed prefix before the tree: Ethernet + flags +
+// 16-bit tree length.
+const mcastHeaderLen = headerLen + 2
+
+// MaxMcastTreeLen bounds the encoded tree size. 8 KiB fits a full-fabric
+// broadcast tree on a k=16 fat tree (1024 hosts ≈ 1343 edges × 3 bytes +
+// one count byte per switch); anything larger should be split into
+// hierarchical groups. Frames above DefaultBufferCap fall off the buffer
+// pool, so giant trees are correct but not allocation-free.
+const MaxMcastTreeLen = 8192
+
+// MaxMcastDepth bounds tree depth, mirroring the unicast MaxPathLen.
+const MaxMcastDepth = MaxPathLen
+
+// MaxMcastFanout is the largest per-switch replication factor (the branch
+// count is a single byte).
+const MaxMcastFanout = 255
+
+// ErrBadTree reports a structurally invalid multicast tree encoding:
+// zero-branch blocks, subtree lengths that do not exactly tile the region,
+// or truncation.
+var ErrBadTree = errorString("packet: malformed multicast tree")
+
+// ErrTreeTooBig reports a tree exceeding MaxMcastTreeLen.
+var ErrTreeTooBig = errorString("packet: multicast tree exceeds maximum size")
+
+// ErrTreeTooDeep reports a tree exceeding MaxMcastDepth.
+var ErrTreeTooDeep = errorString("packet: multicast tree exceeds maximum depth")
+
+// errorString is a tiny allocation-free error kind (errors.New at package
+// init would be equivalent; this keeps the error comparable and const-able).
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// McastMAC derives the destination group address for a multicast group id.
+// The 33:33 prefix has the multicast bit set, so group frames are never
+// mistaken for a host unicast address.
+func McastMAC(group uint32) MAC {
+	var m MAC
+	m[0], m[1] = 0x33, 0x33
+	binary.BigEndian.PutUint32(m[2:], group)
+	return m
+}
+
+// TreeHop is the builder-side representation of one branch: transmit on
+// Port, then continue with Sub at the next switch. An empty Sub means the
+// port leads to a member host (delivery).
+type TreeHop struct {
+	Port Tag
+	Sub  []TreeHop
+}
+
+// EncodedTreeLen returns the wire length of a tree block built from hops.
+func EncodedTreeLen(hops []TreeHop) int {
+	n := 1 // count byte
+	for _, h := range hops {
+		n += 3 // port + subLen
+		if len(h.Sub) > 0 {
+			n += EncodedTreeLen(h.Sub)
+		}
+	}
+	return n
+}
+
+// EncodeTree serialises a tree block. It validates the same bounds a
+// decoder enforces, so any encoded tree round-trips.
+func EncodeTree(hops []TreeHop) ([]byte, error) {
+	if err := validateHops(hops, 1); err != nil {
+		return nil, err
+	}
+	n := EncodedTreeLen(hops)
+	if n > MaxMcastTreeLen {
+		return nil, ErrTreeTooBig
+	}
+	buf := make([]byte, 0, n)
+	return appendTree(buf, hops), nil
+}
+
+func validateHops(hops []TreeHop, depth int) error {
+	if depth > MaxMcastDepth {
+		return ErrTreeTooDeep
+	}
+	if len(hops) == 0 || len(hops) > MaxMcastFanout {
+		return ErrBadTree
+	}
+	for _, h := range hops {
+		if h.Port == TagIDQuery || h.Port == TagEnd {
+			return ErrInvalidPort
+		}
+		if len(h.Sub) > 0 {
+			if err := validateHops(h.Sub, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func appendTree(buf []byte, hops []TreeHop) []byte {
+	buf = append(buf, byte(len(hops)))
+	for _, h := range hops {
+		sub := 0
+		if len(h.Sub) > 0 {
+			sub = EncodedTreeLen(h.Sub)
+		}
+		buf = append(buf, h.Port, byte(sub>>8), byte(sub))
+		if len(h.Sub) > 0 {
+			buf = appendTree(buf, h.Sub)
+		}
+	}
+	return buf
+}
+
+// DecodeTree parses an encoded tree block back into TreeHops, fully
+// validating structure, ports, depth and exact tiling. Used by tests and
+// the fuzz harness; switches never parse below the top level.
+func DecodeTree(b []byte) ([]TreeHop, error) {
+	if len(b) > MaxMcastTreeLen {
+		return nil, ErrTreeTooBig
+	}
+	hops, n, err := decodeBlock(b, 1)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(b) {
+		return nil, ErrBadTree
+	}
+	return hops, nil
+}
+
+func decodeBlock(b []byte, depth int) ([]TreeHop, int, error) {
+	if depth > MaxMcastDepth {
+		return nil, 0, ErrTreeTooDeep
+	}
+	if len(b) < 1 {
+		return nil, 0, ErrBadTree
+	}
+	count := int(b[0])
+	if count == 0 {
+		return nil, 0, ErrBadTree
+	}
+	hops := make([]TreeHop, 0, count)
+	off := 1
+	for i := 0; i < count; i++ {
+		if off+3 > len(b) {
+			return nil, 0, ErrBadTree
+		}
+		port := b[off]
+		if port == TagIDQuery || port == TagEnd {
+			return nil, 0, ErrInvalidPort
+		}
+		subLen := int(binary.BigEndian.Uint16(b[off+1 : off+3]))
+		off += 3
+		if off+subLen > len(b) {
+			return nil, 0, ErrBadTree
+		}
+		h := TreeHop{Port: port}
+		if subLen > 0 {
+			sub, n, err := decodeBlock(b[off:off+subLen], depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			if n != subLen {
+				return nil, 0, ErrBadTree
+			}
+			h.Sub = sub
+		}
+		off += subLen
+		hops = append(hops, h)
+	}
+	return hops, off, nil
+}
+
+// ValidateTreeWire recursively checks an encoded tree without building the
+// TreeHop representation (no allocation). The builder and property tests
+// use it to assert that anything they emit is decodable everywhere.
+func ValidateTreeWire(b []byte) error {
+	if len(b) > MaxMcastTreeLen {
+		return ErrTreeTooBig
+	}
+	n, err := validateBlock(b, 1)
+	if err != nil {
+		return err
+	}
+	if n != len(b) {
+		return ErrBadTree
+	}
+	return nil
+}
+
+func validateBlock(b []byte, depth int) (int, error) {
+	if depth > MaxMcastDepth {
+		return 0, ErrTreeTooDeep
+	}
+	if len(b) < 1 || b[0] == 0 {
+		return 0, ErrBadTree
+	}
+	count := int(b[0])
+	off := 1
+	for i := 0; i < count; i++ {
+		if off+3 > len(b) {
+			return 0, ErrBadTree
+		}
+		if b[off] == TagIDQuery || b[off] == TagEnd {
+			return 0, ErrInvalidPort
+		}
+		subLen := int(binary.BigEndian.Uint16(b[off+1 : off+3]))
+		off += 3
+		if off+subLen > len(b) {
+			return 0, ErrBadTree
+		}
+		if subLen > 0 {
+			n, err := validateBlock(b[off:off+subLen], depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if n != subLen {
+				return 0, ErrBadTree
+			}
+		}
+		off += subLen
+	}
+	return off, nil
+}
+
+// EncodedLenMcast returns the wire length of a multicast frame carrying the
+// given encoded tree and payload.
+func EncodedLenMcast(treeLen, payloadLen int) int {
+	return mcastHeaderLen + treeLen + 2 + payloadLen
+}
+
+// EncodeMcastTo serialises a multicast frame into buf, returning the bytes
+// written. tree must be a valid encoded tree block (see EncodeTree).
+func EncodeMcastTo(buf []byte, dst, src MAC, flags uint8, tree []byte, innerType uint16, payload []byte) (int, error) {
+	// An empty tree is the delivered (host) form; anything else must tile.
+	if len(tree) > 0 {
+		if err := ValidateTreeWire(tree); err != nil {
+			return 0, err
+		}
+	}
+	need := EncodedLenMcast(len(tree), len(payload))
+	if len(buf) < need {
+		return 0, ErrTooShort
+	}
+	copy(buf[0:6], dst[:])
+	copy(buf[6:12], src[:])
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeDumbNetMcast)
+	buf[FlagsOffset] = flags
+	binary.BigEndian.PutUint16(buf[headerLen:mcastHeaderLen], uint16(len(tree)))
+	off := mcastHeaderLen + copy(buf[mcastHeaderLen:], tree)
+	binary.BigEndian.PutUint16(buf[off:off+2], innerType)
+	off += 2
+	copy(buf[off:], payload)
+	return need, nil
+}
+
+// DecodeMcastFrom parses a multicast frame that has reached a host: the
+// tree must be fully consumed (treeLen == 0), the multicast analogue of the
+// unicast ø check. The decoded Payload aliases buf; Tags is nil.
+func DecodeMcastFrom(f *Frame, buf []byte) error {
+	if len(buf) < mcastHeaderLen+2 {
+		return ErrTooShort
+	}
+	if binary.BigEndian.Uint16(buf[12:14]) != EtherTypeDumbNetMcast {
+		return ErrNotDumbNet
+	}
+	if binary.BigEndian.Uint16(buf[headerLen:mcastHeaderLen]) != 0 {
+		return ErrNotAtEnd
+	}
+	copy(f.Dst[:], buf[0:6])
+	copy(f.Src[:], buf[6:12])
+	f.Flags = buf[FlagsOffset]
+	f.Tags = nil
+	f.InnerType = binary.BigEndian.Uint16(buf[mcastHeaderLen : mcastHeaderLen+2])
+	f.Payload = buf[mcastHeaderLen+2:]
+	return nil
+}
+
+// McastBranches iterates the top-level branches of an encoded multicast
+// frame without allocating — the dumb switch's entire view of the tree.
+// Init validates the top block completely (bounds, ports, exact tiling)
+// before any copy is transmitted, so a malformed frame forks zero copies
+// and a valid one forks exactly its declared branch count: over-replication
+// is structurally impossible. Subtrees are validated one hop downstream by
+// the switch that receives them, keeping per-hop work proportional to local
+// fanout.
+type McastBranches struct {
+	frame []byte
+	end   int // one past the tree region
+	off   int // next branch offset
+	n     int // branches remaining
+	port  Tag
+	sub   []byte
+}
+
+// Init binds the iterator to an encoded multicast frame and validates the
+// top tree block. The iterator aliases frame.
+func (it *McastBranches) Init(frame []byte) error {
+	if len(frame) < mcastHeaderLen+2 {
+		return ErrTooShort
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeDumbNetMcast {
+		return ErrNotDumbNet
+	}
+	treeLen := int(binary.BigEndian.Uint16(frame[headerLen:mcastHeaderLen]))
+	if treeLen == 0 {
+		// A fully-consumed tree belongs at a host, not a switch.
+		return ErrEmptyTagStack
+	}
+	end := mcastHeaderLen + treeLen
+	if end+2 > len(frame) {
+		return ErrTooShort
+	}
+	count := int(frame[mcastHeaderLen])
+	if count == 0 {
+		return ErrBadTree
+	}
+	// Pre-validate every branch record so transmission is all-or-nothing.
+	off := mcastHeaderLen + 1
+	for i := 0; i < count; i++ {
+		if off+3 > end {
+			return ErrBadTree
+		}
+		if frame[off] == TagIDQuery || frame[off] == TagEnd {
+			return ErrInvalidPort
+		}
+		subLen := int(binary.BigEndian.Uint16(frame[off+1 : off+3]))
+		off += 3 + subLen
+		if off > end {
+			return ErrBadTree
+		}
+	}
+	if off != end {
+		return ErrBadTree
+	}
+	it.frame = frame
+	it.end = end
+	it.off = mcastHeaderLen + 1
+	it.n = count
+	return nil
+}
+
+// Next advances to the next branch, returning false when exhausted.
+func (it *McastBranches) Next() bool {
+	if it.n == 0 {
+		return false
+	}
+	it.port = it.frame[it.off]
+	subLen := int(binary.BigEndian.Uint16(it.frame[it.off+1 : it.off+3]))
+	it.off += 3
+	it.sub = it.frame[it.off : it.off+subLen]
+	it.off += subLen
+	it.n--
+	return true
+}
+
+// Port is the egress port of the current branch.
+func (it *McastBranches) Port() Tag { return it.port }
+
+// Sub is the current branch's encoded subtree (empty = host delivery). It
+// aliases the frame.
+func (it *McastBranches) Sub() []byte { return it.sub }
+
+// Tail is the frame region after the tree — inner EtherType + payload —
+// copied verbatim into every branch frame. It aliases the frame.
+func (it *McastBranches) Tail() []byte { return it.frame[it.end:] }
+
+// McastBranchLen is the encoded length of a branch frame carrying the given
+// subtree and tail.
+func McastBranchLen(subLen, tailLen int) int {
+	return mcastHeaderLen + subLen + tailLen
+}
+
+// BuildMcastBranch assembles one forwarded copy into dst: the original
+// Ethernet header + flags, the branch subtree as the new tree, and the tail
+// (inner EtherType + payload). dst must hold McastBranchLen(len(sub),
+// len(tail)) bytes. Returns the bytes written. No validation, no
+// allocation: the switch fast path.
+func BuildMcastBranch(dst []byte, frame, sub, tail []byte) int {
+	copy(dst, frame[:headerLen])
+	binary.BigEndian.PutUint16(dst[headerLen:mcastHeaderLen], uint16(len(sub)))
+	off := mcastHeaderLen + copy(dst[mcastHeaderLen:], sub)
+	return off + copy(dst[off:], tail)
+}

@@ -1,0 +1,100 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeMcastTag exercises the two parsers a dumb switch and a host run
+// on multicast frames: the branch iterator (McastBranches) and the
+// host-side DecodeMcastFrom. The properties a replicate-and-forward
+// dataplane owes its callers:
+//
+//  1. arbitrary bytes never panic either parser;
+//  2. a frame that passes Init forks *exactly* its declared branch count,
+//     every branch frame is strictly smaller than its parent (the tree
+//     shrinks per hop, so replication terminates — no amplification), and
+//     the subtree regions never overlap (no byte is replicated twice);
+//  3. any tree DecodeTree accepts re-encodes to identical bytes.
+func FuzzDecodeMcastTag(f *testing.F) {
+	wire, err := EncodeTree([]TreeHop{
+		{Port: 2},
+		{Port: 3, Sub: []TreeHop{{Port: 1}, {Port: 4}}},
+		{Port: 5, Sub: []TreeHop{{Port: 1, Sub: []TreeHop{{Port: 7}}}}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := make([]byte, EncodedLenMcast(len(wire), 5))
+	if _, err := EncodeMcastTo(good, McastMAC(1), MACFromUint64(2), 0, wire, EtherTypeIPv4, []byte("hello")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	// Host-side delivery frame (empty tree).
+	leaf := make([]byte, EncodedLenMcast(0, 3))
+	copy(leaf, good[:15])
+	leaf[15], leaf[16] = 0, 0
+	copy(leaf[17:], []byte{0x08, 0x00, 'x'})
+	f.Add(leaf)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x98}, 64))
+	f.Add(good[:len(good)-4]) // truncated payload region
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		_ = DecodeMcastFrom(&fr, data) // must not panic
+
+		var it McastBranches
+		if err := it.Init(data); err == nil {
+			tail := it.Tail()
+			branches, subBytes := 0, 0
+			for it.Next() {
+				branches++
+				sub := it.Sub()
+				subBytes += len(sub)
+				port := it.Port()
+				if port == TagIDQuery || port == TagEnd {
+					t.Fatalf("iterator yielded reserved port %#x", port)
+				}
+				branch := make([]byte, McastBranchLen(len(sub), len(tail)))
+				if n := BuildMcastBranch(branch, data, sub, tail); n != len(branch) {
+					t.Fatalf("branch assembled %d bytes, want %d", n, len(branch))
+				}
+				if len(branch) >= len(data) {
+					t.Fatalf("branch frame (%d bytes) not smaller than parent (%d): replication would not terminate", len(branch), len(data))
+				}
+				// The branch frame must itself be parseable by exactly one
+				// of the two consumers — never rejected by both.
+				var it2 McastBranches
+				var fr2 Frame
+				swOK := it2.Init(branch) == nil
+				hostOK := DecodeMcastFrom(&fr2, branch) == nil
+				if swOK == hostOK {
+					t.Fatalf("branch frame switch-parseable=%v host-parseable=%v", swOK, hostOK)
+				}
+			}
+			if branches == 0 || branches > MaxMcastFanout {
+				t.Fatalf("Init accepted a frame that forked %d branches", branches)
+			}
+			treeLen := int(data[15])<<8 | int(data[16])
+			// Exact tiling: branch records (3 bytes each) + subtrees + the
+			// count byte account for every tree byte, so no region overlaps
+			// and total replicated bytes are bounded by the input.
+			if 1+3*branches+subBytes != treeLen {
+				t.Fatalf("tree region does not tile: 1+3*%d+%d != %d", branches, subBytes, treeLen)
+			}
+		}
+
+		hops, err := DecodeTree(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeTree(hops)
+		if err != nil {
+			t.Fatalf("decoded tree failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("tree round trip diverged:\n got %x\nwant %x", enc, data)
+		}
+	})
+}

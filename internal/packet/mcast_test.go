@@ -1,0 +1,254 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sampleTree is a 3-level tree: the root switch forks to a host on port 2,
+// to a switch on port 3 (which delivers to hosts on ports 1 and 4), and to
+// a switch on port 5 whose child switch on port 1 delivers on port 7.
+func sampleTree() []TreeHop {
+	return []TreeHop{
+		{Port: 2},
+		{Port: 3, Sub: []TreeHop{{Port: 1}, {Port: 4}}},
+		{Port: 5, Sub: []TreeHop{{Port: 1, Sub: []TreeHop{{Port: 7}}}}},
+	}
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	hops := sampleTree()
+	wire, err := EncodeTree(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != EncodedTreeLen(hops) {
+		t.Fatalf("len = %d, want %d", len(wire), EncodedTreeLen(hops))
+	}
+	if err := ValidateTreeWire(wire); err != nil {
+		t.Fatalf("ValidateTreeWire: %v", err)
+	}
+	back, err := DecodeTree(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire2, err := EncodeTree(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, wire2) {
+		t.Fatalf("round trip diverged:\n got %x\nwant %x", wire2, wire)
+	}
+}
+
+func TestEncodeTreeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		hops []TreeHop
+		want error
+	}{
+		{"empty", nil, ErrBadTree},
+		{"bad-port-end", []TreeHop{{Port: TagEnd}}, ErrInvalidPort},
+		{"bad-port-query", []TreeHop{{Port: TagIDQuery}}, ErrInvalidPort},
+		{"bad-sub-port", []TreeHop{{Port: 1, Sub: []TreeHop{{Port: TagEnd}}}}, ErrInvalidPort},
+	}
+	for _, c := range cases {
+		if _, err := EncodeTree(c.hops); err != c.want {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+	// Depth bound: a chain of MaxMcastDepth+1 single-branch blocks.
+	deep := []TreeHop{{Port: 1}}
+	for i := 0; i < MaxMcastDepth; i++ {
+		deep = []TreeHop{{Port: 1, Sub: deep}}
+	}
+	if _, err := EncodeTree(deep); err != ErrTreeTooDeep {
+		t.Errorf("deep: err = %v, want %v", err, ErrTreeTooDeep)
+	}
+	// Size bound: a flat block with enough branches to blow MaxMcastTreeLen
+	// can't exist (255 max), so nest wide blocks instead.
+	var wide []TreeHop
+	for i := 0; i < 255; i++ {
+		wide = append(wide, TreeHop{Port: 1})
+	}
+	big := wide
+	for EncodedTreeLen(big) <= MaxMcastTreeLen {
+		big = []TreeHop{{Port: 1, Sub: big}, {Port: 2, Sub: wide}, {Port: 3, Sub: wide}, {Port: 4, Sub: wide}}
+	}
+	if _, err := EncodeTree(big); err != ErrTreeTooBig {
+		t.Errorf("big: err = %v, want %v", err, ErrTreeTooBig)
+	}
+}
+
+// encodeSampleFrame builds a full multicast frame around tree bytes.
+func encodeSampleFrame(t *testing.T, tree []byte, payload []byte) []byte {
+	t.Helper()
+	buf := make([]byte, EncodedLenMcast(len(tree), len(payload)))
+	n, err := EncodeMcastTo(buf, McastMAC(9), MACFromUint64(1), 0, tree, EtherTypeIPv4, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:n]
+}
+
+// walkFrames recursively forks a frame through the iterator, recording the
+// port sequence of every host delivery.
+func walkFrames(t *testing.T, frame []byte, prefix []Tag, deliveries *[][]Tag) {
+	t.Helper()
+	var it McastBranches
+	if err := it.Init(frame); err != nil {
+		t.Fatalf("Init at %v: %v", prefix, err)
+	}
+	tail := it.Tail()
+	for it.Next() {
+		path := append(append([]Tag(nil), prefix...), it.Port())
+		sub := it.Sub()
+		branch := make([]byte, McastBranchLen(len(sub), len(tail)))
+		if n := BuildMcastBranch(branch, frame, sub, tail); n != len(branch) {
+			t.Fatalf("branch len = %d, want %d", n, len(branch))
+		}
+		if len(sub) == 0 {
+			var f Frame
+			if err := DecodeMcastFrom(&f, branch); err != nil {
+				t.Fatalf("DecodeMcastFrom at %v: %v", path, err)
+			}
+			if f.InnerType != EtherTypeIPv4 || !bytes.Equal(f.Payload, []byte("hello")) {
+				t.Fatalf("delivery at %v: inner=%#x payload=%q", path, f.InnerType, f.Payload)
+			}
+			*deliveries = append(*deliveries, path)
+			continue
+		}
+		walkFrames(t, branch, path, deliveries)
+	}
+}
+
+func TestMcastForkAndDeliver(t *testing.T) {
+	wire, err := EncodeTree(sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeSampleFrame(t, wire, []byte("hello"))
+	var deliveries [][]Tag
+	walkFrames(t, frame, nil, &deliveries)
+	want := [][]Tag{{2}, {3, 1}, {3, 4}, {5, 1, 7}}
+	if len(deliveries) != len(want) {
+		t.Fatalf("deliveries = %v, want %v", deliveries, want)
+	}
+	for i := range want {
+		if !bytes.Equal(deliveries[i], want[i]) {
+			t.Fatalf("delivery %d = %v, want %v", i, deliveries[i], want[i])
+		}
+	}
+}
+
+func TestMcastIteratorRejectsMalformed(t *testing.T) {
+	good, err := EncodeTree(sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeSampleFrame(t, good, []byte("x"))
+
+	check := func(name string, mutate func([]byte) []byte, want error) {
+		t.Helper()
+		f := mutate(append([]byte(nil), frame...))
+		var it McastBranches
+		if got := it.Init(f); got != want {
+			t.Errorf("%s: err = %v, want %v", name, got, want)
+		}
+	}
+	check("short", func(f []byte) []byte { return f[:10] }, ErrTooShort)
+	check("wrong-ethertype", func(f []byte) []byte { f[12] = 0x08; f[13] = 0x00; return f }, ErrNotDumbNet)
+	check("empty-tree", func(f []byte) []byte {
+		// treeLen = 0: host-side frame, a switch must refuse it.
+		buf := make([]byte, EncodedLenMcast(0, 1))
+		copy(buf, f[:15])
+		buf[15], buf[16] = 0, 0
+		return buf
+	}, ErrEmptyTagStack)
+	check("zero-count", func(f []byte) []byte { f[17] = 0; return f }, ErrBadTree)
+	check("port-end", func(f []byte) []byte { f[18] = TagEnd; return f }, ErrInvalidPort)
+	check("port-query", func(f []byte) []byte { f[18] = TagIDQuery; return f }, ErrInvalidPort)
+	check("overrun-sublen", func(f []byte) []byte { f[19] = 0xFF; f[20] = 0xFF; return f }, ErrBadTree)
+	check("truncated-tree", func(f []byte) []byte {
+		// Declare a tree longer than the frame.
+		f[15], f[16] = 0xFF, 0xFF
+		return f
+	}, ErrTooShort)
+	check("slack-tiling", func(f []byte) []byte {
+		// Declare one branch fewer than encoded: region no longer tiles.
+		f[17] = 2
+		return f
+	}, ErrBadTree)
+}
+
+func TestDecodeMcastFromRequiresConsumedTree(t *testing.T) {
+	wire, err := EncodeTree(sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeSampleFrame(t, wire, []byte("x"))
+	var f Frame
+	if err := DecodeMcastFrom(&f, frame); err != ErrNotAtEnd {
+		t.Fatalf("err = %v, want %v", err, ErrNotAtEnd)
+	}
+}
+
+func TestMcastMAC(t *testing.T) {
+	m := McastMAC(0xDEADBEEF)
+	if m[0]&0x01 == 0 {
+		t.Fatalf("group MAC %v lacks the multicast bit", m)
+	}
+	if m == McastMAC(0xDEADBEE0) {
+		t.Fatal("distinct groups map to the same MAC")
+	}
+}
+
+func TestMcastFrameCEMark(t *testing.T) {
+	wire, err := EncodeTree(sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeSampleFrame(t, wire, []byte("x"))
+	if HasCE(frame) {
+		t.Fatal("fresh frame already CE-marked")
+	}
+	MarkCE(frame)
+	if !HasCE(frame) {
+		t.Fatal("CE mark did not stick on a multicast frame")
+	}
+	// The mark must survive a fork.
+	var it McastBranches
+	if err := it.Init(frame); err != nil {
+		t.Fatal(err)
+	}
+	if !it.Next() {
+		t.Fatal("no branches")
+	}
+	branch := make([]byte, McastBranchLen(len(it.Sub()), len(it.Tail())))
+	BuildMcastBranch(branch, frame, it.Sub(), it.Tail())
+	if !HasCE(branch) {
+		t.Fatal("CE mark lost across a fork")
+	}
+}
+
+func TestGroupEventRoundTrip(t *testing.T) {
+	in := &GroupEvent{Group: 7, Gen: 42, HopsLeft: 5}
+	b, err := EncodeControl(MsgGroupEvent, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, msg, err := DecodeControl(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgGroupEvent {
+		t.Fatalf("type = %v", typ)
+	}
+	out := msg.(*GroupEvent)
+	if *out != *in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if MsgGroupEvent.String() != "group-event" {
+		t.Fatalf("String = %q", MsgGroupEvent.String())
+	}
+}

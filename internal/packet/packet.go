@@ -293,20 +293,24 @@ func PopTag(buf []byte) ([]byte, Tag, error) {
 }
 
 // MarkCE sets the congestion-experienced flag on an encoded native frame —
-// the constant-offset write a marking switch performs. It is a no-op on
-// non-DumbNet frames.
+// the constant-offset write a marking switch performs. Unicast and
+// multicast headers share the flags offset. It is a no-op on non-DumbNet
+// frames.
 func MarkCE(buf []byte) {
-	if len(buf) > FlagsOffset &&
-		binary.BigEndian.Uint16(buf[12:14]) == EtherTypeDumbNet {
+	if len(buf) > FlagsOffset && hasNativeFlags(buf) {
 		buf[FlagsOffset] |= FlagCE
 	}
 }
 
 // HasCE reports whether an encoded native frame carries the CE mark.
 func HasCE(buf []byte) bool {
-	return len(buf) > FlagsOffset &&
-		binary.BigEndian.Uint16(buf[12:14]) == EtherTypeDumbNet &&
+	return len(buf) > FlagsOffset && hasNativeFlags(buf) &&
 		buf[FlagsOffset]&FlagCE != 0
+}
+
+func hasNativeFlags(buf []byte) bool {
+	et := binary.BigEndian.Uint16(buf[12:14])
+	return et == EtherTypeDumbNet || et == EtherTypeDumbNetMcast
 }
 
 // StripAtHost validates that the frame has reached the end of its path

@@ -5,10 +5,18 @@ import "sync"
 // Frame buffer pool. Encoding a frame for transmission needs a fresh byte
 // buffer whose lifetime ends somewhere far away (after delivery, once the
 // receiver has parsed it) — the classic churn source in a software
-// dataplane. GetBuffer/PutBuffer recycle those buffers through a sync.Pool:
-// senders draw from the pool instead of make(), and receivers that can
-// prove the buffer dead (control frames, whose payloads are fully copied
-// out during decode) return it.
+// dataplane. GetBuffer/PutBuffer recycle those buffers through a bounded
+// freelist: senders draw from the pool instead of make(), and receivers
+// that can prove the buffer dead (control frames, whose payloads are fully
+// copied out during decode; multicast frames after the switch forks them)
+// return it.
+//
+// The freelist is a mutex-guarded stack rather than a sync.Pool: Put-ing a
+// []byte into a sync.Pool boxes the slice header into an interface — one
+// heap allocation per recycled frame, which would break the dataplane's
+// 0 allocs/op contract on paths that cycle buffers (multicast replication,
+// event floods). A plain stack recycles with zero allocations; the size cap
+// bounds its footprint, and overflow buffers fall to the garbage collector.
 //
 // Recycled buffers may have lost capacity at the front: every switch hop
 // pops one tag by re-slicing the frame forward (PopTag), so a buffer that
@@ -24,9 +32,13 @@ const DefaultBufferCap = 2048
 // left to the garbage collector.
 const minRecycleCap = 256
 
-var bufPool = sync.Pool{
-	New: func() any { return make([]byte, DefaultBufferCap) },
-}
+// maxPooledBuffers bounds the freelist (2 MiB of full-cap buffers).
+const maxPooledBuffers = 1024
+
+var (
+	bufMu    sync.Mutex
+	bufStack [][]byte
+)
 
 // GetBuffer returns a length-n byte buffer, drawn from the pool when a
 // pooled buffer is large enough.
@@ -34,22 +46,34 @@ func GetBuffer(n int) []byte {
 	if n > DefaultBufferCap {
 		return make([]byte, n)
 	}
-	b := bufPool.Get().([]byte)
-	if cap(b) < n {
-		// A recycled buffer that shrank below n (tag pops eat the front):
-		// retire it and allocate fresh at full capacity.
-		return make([]byte, n, DefaultBufferCap)
+	bufMu.Lock()
+	if last := len(bufStack) - 1; last >= 0 {
+		b := bufStack[last]
+		bufStack[last] = nil
+		bufStack = bufStack[:last]
+		bufMu.Unlock()
+		if cap(b) < n {
+			// A recycled buffer that shrank below n (tag pops eat the
+			// front): retire it and allocate fresh at full capacity.
+			return make([]byte, n, DefaultBufferCap)
+		}
+		return b[:n]
 	}
-	return b[:n]
+	bufMu.Unlock()
+	return make([]byte, n, DefaultBufferCap)
 }
 
 // PutBuffer returns a buffer to the pool. The caller must not touch buf
 // afterwards. Buffers that shrank too far, or were allocated oversized
-// outside the pool, are dropped.
+// outside the pool, are dropped, as is everything past the freelist cap.
 func PutBuffer(buf []byte) {
 	c := cap(buf)
 	if c < minRecycleCap || c > DefaultBufferCap {
 		return
 	}
-	bufPool.Put(buf[:c])
+	bufMu.Lock()
+	if len(bufStack) < maxPooledBuffers {
+		bufStack = append(bufStack, buf[:c])
+	}
+	bufMu.Unlock()
 }

@@ -72,6 +72,21 @@ func (g *DenseGraph) IndexOf(id SwitchID) (int32, bool) {
 // IDOf maps a dense node index back to its switch ID.
 func (g *DenseGraph) IDOf(i int32) SwitchID { return g.ids[i] }
 
+// EdgeRange returns the CSR edge index range [lo, hi) of node i's
+// adjacency, for callers building their own walks over the snapshot (the
+// multicast tree builder is one).
+func (g *DenseGraph) EdgeRange(i int32) (lo, hi int32) { return g.start[i], g.start[i+1] }
+
+// EdgeTarget returns edge e's target node index.
+func (g *DenseGraph) EdgeTarget(e int32) int32 { return g.nbr[e] }
+
+// EdgePort returns the local out-port of edge e.
+func (g *DenseGraph) EdgePort(e int32) Port { return g.port[e] }
+
+// PortBetween returns from's lowest-numbered port toward to (the same
+// lowest-port-wins answer Topology.PortToward gives).
+func (g *DenseGraph) PortBetween(from, to int32) (Port, bool) { return g.reversePort(from, to) }
+
 // reversePort returns from's lowest-numbered port toward to (the same
 // lowest-port-wins answer Topology.PortToward gives).
 func (g *DenseGraph) reversePort(from, to int32) (Port, bool) {

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Collective workloads — the communication patterns of data-parallel
+// training (broadcast, allreduce, parameter server), expressed as stage
+// DAGs so they run on the same flow-level machinery as the HiBench jobs.
+// These are the workloads whose performance a multicast-capable fabric
+// changes most: a broadcast round that unicast must serialize into n-1
+// flows is one replicated frame under source-routed multicast.
+
+// log2Ceil returns ceil(log2(n)) for n >= 1.
+func log2Ceil(n int) int {
+	r := 0
+	for (1 << r) < n {
+		r++
+	}
+	return r
+}
+
+// Broadcast distributes bytes from worker 0 to every other worker along a
+// binomial tree: ceil(log2 n) rounds, with the set of holders doubling
+// each round. Each round depends on the previous one.
+func Broadcast(workers int, bytes float64) Job {
+	j := Job{Name: "Broadcast"}
+	rounds := log2Ceil(workers)
+	prev := -1
+	for r := 0; r < rounds; r++ {
+		st := Stage{Name: fmt.Sprintf("round-%d", r+1)}
+		if prev >= 0 {
+			st.Deps = []int{prev}
+		}
+		for src := 0; src < (1 << r); src++ {
+			dst := src + (1 << r)
+			if dst < workers {
+				st.Flows = append(st.Flows, Flow{Src: src, Dst: dst, Bytes: bytes})
+			}
+		}
+		j.Stages = append(j.Stages, st)
+		prev = len(j.Stages) - 1
+	}
+	return j
+}
+
+// RingAllreduce is the bandwidth-optimal allreduce: a reduce-scatter pass
+// followed by an allgather pass, 2(n-1) stages total, each stage moving one
+// bytes/n chunk from every worker to its ring successor.
+func RingAllreduce(workers int, bytes float64) Job {
+	j := Job{Name: "RingAllreduce"}
+	if workers < 2 {
+		return j
+	}
+	chunk := bytes / float64(workers)
+	prev := -1
+	for s := 0; s < 2*(workers-1); s++ {
+		phase := "reduce-scatter"
+		if s >= workers-1 {
+			phase = "allgather"
+		}
+		st := Stage{Name: fmt.Sprintf("%s-%d", phase, s%(workers-1)+1)}
+		if prev >= 0 {
+			st.Deps = []int{prev}
+		}
+		for w := 0; w < workers; w++ {
+			st.Flows = append(st.Flows, Flow{Src: w, Dst: (w + 1) % workers, Bytes: chunk})
+		}
+		j.Stages = append(j.Stages, st)
+		prev = len(j.Stages) - 1
+	}
+	return j
+}
+
+// TreeAllreduce reduces up a binomial tree to worker 0, then broadcasts the
+// result back down: 2*ceil(log2 n) stages. Latency-optimal for small
+// payloads; each edge carries the full vector.
+func TreeAllreduce(workers int, bytes float64) Job {
+	j := Job{Name: "TreeAllreduce"}
+	rounds := log2Ceil(workers)
+	prev := -1
+	// Reduce phase: in round r, workers at odd multiples of 2^r send their
+	// partial sum to the even multiple below them.
+	for r := 0; r < rounds; r++ {
+		st := Stage{Name: fmt.Sprintf("reduce-%d", r+1)}
+		if prev >= 0 {
+			st.Deps = []int{prev}
+		}
+		step := 1 << (r + 1)
+		for dst := 0; dst < workers; dst += step {
+			src := dst + (1 << r)
+			if src < workers {
+				st.Flows = append(st.Flows, Flow{Src: src, Dst: dst, Bytes: bytes})
+			}
+		}
+		j.Stages = append(j.Stages, st)
+		prev = len(j.Stages) - 1
+	}
+	// Broadcast phase: the binomial tree in reverse.
+	for r := rounds - 1; r >= 0; r-- {
+		st := Stage{Name: fmt.Sprintf("bcast-%d", rounds-r), Deps: []int{prev}}
+		step := 1 << (r + 1)
+		for src := 0; src < workers; src += step {
+			dst := src + (1 << r)
+			if dst < workers {
+				st.Flows = append(st.Flows, Flow{Src: src, Dst: dst, Bytes: bytes})
+			}
+		}
+		j.Stages = append(j.Stages, st)
+		prev = len(j.Stages) - 1
+	}
+	return j
+}
+
+// ParameterServer models one synchronous training step against sharded
+// parameter servers: every worker pushes its full gradient (sharded across
+// the servers), then pulls the updated model back. Workers are indices
+// 0..workers-1 and servers workers..workers+servers-1, so the route
+// function must cover workers+servers hosts.
+func ParameterServer(workers, servers int, bytes float64) Job {
+	j := Job{Name: "ParameterServer"}
+	if workers < 1 || servers < 1 {
+		return j
+	}
+	shard := bytes / float64(servers)
+	push := Stage{Name: "push"}
+	for w := 0; w < workers; w++ {
+		for s := 0; s < servers; s++ {
+			push.Flows = append(push.Flows, Flow{Src: w, Dst: workers + s, Bytes: shard})
+		}
+	}
+	pull := Stage{Name: "pull", Deps: []int{0}, ComputeSec: 0.001}
+	for w := 0; w < workers; w++ {
+		for s := 0; s < servers; s++ {
+			pull.Flows = append(pull.Flows, Flow{Src: workers + s, Dst: w, Bytes: shard})
+		}
+	}
+	j.Stages = append(j.Stages, push, pull)
+	return j
+}
+
+// CollectiveSuite returns the collective workloads at a common scale. The
+// parameter-server job reserves ceil(workers/4) of the workers as servers
+// so every job fits the same host count.
+func CollectiveSuite(workers int, bytes float64) []Job {
+	servers := int(math.Ceil(float64(workers) / 4))
+	if servers < 1 {
+		servers = 1
+	}
+	return []Job{
+		Broadcast(workers, bytes),
+		RingAllreduce(workers, bytes),
+		TreeAllreduce(workers, bytes),
+		ParameterServer(workers-servers, servers, bytes),
+	}
+}

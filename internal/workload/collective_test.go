@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBroadcastShape(t *testing.T) {
+	for _, n := range []int{2, 5, 8, 16} {
+		j := Broadcast(n, 1000)
+		if err := j.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if want := log2Ceil(n); len(j.Stages) != want {
+			t.Fatalf("n=%d: %d stages, want %d", n, len(j.Stages), want)
+		}
+		// Exactly n-1 transfers of the full payload: each worker receives
+		// once, and only holders of the data ever send.
+		received := map[int]bool{0: true}
+		total := 0.0
+		for _, st := range j.Stages {
+			starts := map[int]bool{}
+			for _, f := range st.Flows {
+				if !received[f.Src] {
+					t.Fatalf("n=%d: worker %d sends before receiving", n, f.Src)
+				}
+				if received[f.Dst] {
+					t.Fatalf("n=%d: worker %d receives twice", n, f.Dst)
+				}
+				starts[f.Dst] = true
+				total += f.Bytes
+			}
+			for d := range starts {
+				received[d] = true
+			}
+		}
+		if len(received) != n {
+			t.Fatalf("n=%d: only %d workers reached", n, len(received))
+		}
+		if math.Abs(total-float64(n-1)*1000) > 1e-9 {
+			t.Fatalf("n=%d: total bytes %v", n, total)
+		}
+	}
+}
+
+func TestRingAllreduceShape(t *testing.T) {
+	const n, bytes = 8, 4000.0
+	j := RingAllreduce(n, bytes)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Stages) != 2*(n-1) {
+		t.Fatalf("%d stages, want %d", len(j.Stages), 2*(n-1))
+	}
+	for i, st := range j.Stages {
+		if len(st.Flows) != n {
+			t.Fatalf("stage %d has %d flows, want %d", i, len(st.Flows), n)
+		}
+		for _, f := range st.Flows {
+			if f.Dst != (f.Src+1)%n {
+				t.Fatalf("stage %d: flow %d->%d is not a ring edge", i, f.Src, f.Dst)
+			}
+		}
+	}
+	// Bandwidth-optimal total: 2(n-1) * bytes of wire traffic.
+	if got, want := j.TotalBytes(), 2*float64(n-1)*bytes; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("total bytes %v, want %v", got, want)
+	}
+}
+
+func TestTreeAllreduceShape(t *testing.T) {
+	for _, n := range []int{2, 6, 8, 13} {
+		j := TreeAllreduce(n, 1000)
+		if err := j.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if want := 2 * log2Ceil(n); len(j.Stages) != want {
+			t.Fatalf("n=%d: %d stages, want %d", n, len(j.Stages), want)
+		}
+		// Reduce and broadcast phases mirror each other: n-1 transfers each.
+		if got, want := j.TotalBytes(), 2*float64(n-1)*1000; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d: total bytes %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestParameterServerShape(t *testing.T) {
+	const workers, servers, bytes = 6, 2, 3000.0
+	j := ParameterServer(workers, servers, bytes)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Stages) != 2 {
+		t.Fatalf("%d stages, want 2", len(j.Stages))
+	}
+	// Push and pull each move the full gradient per worker.
+	if got, want := j.TotalBytes(), 2*float64(workers)*bytes; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("total bytes %v, want %v", got, want)
+	}
+	for _, f := range j.Stages[0].Flows {
+		if f.Dst < workers {
+			t.Fatalf("push flow targets worker %d, not a server", f.Dst)
+		}
+	}
+	for _, f := range j.Stages[1].Flows {
+		if f.Src < workers {
+			t.Fatalf("pull flow originates at worker %d, not a server", f.Src)
+		}
+	}
+}
+
+// TestCollectiveSuiteRuns executes every collective on the flow-level
+// leaf-spine model under each routing policy: all must complete, and the
+// ring allreduce must beat the tree allreduce on a bandwidth-bound payload
+// (the textbook trade-off the two algorithms embody).
+func TestCollectiveSuiteRuns(t *testing.T) {
+	const workers = 16
+	ls := NewLeafSpine(2, 4, 4, 10e9, 1e9)
+	durations := map[string]float64{}
+	for _, job := range CollectiveSuite(workers, 100e6) {
+		d, err := RunJob(job, ls.Net, ls.FlowletPolicy())
+		if err != nil {
+			t.Fatalf("%s: %v", job.Name, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%s: non-positive duration %v", job.Name, d)
+		}
+		durations[job.Name] = d
+	}
+	if durations["RingAllreduce"] >= durations["TreeAllreduce"] {
+		t.Fatalf("ring (%.3fs) should beat tree (%.3fs) on a 100MB payload",
+			durations["RingAllreduce"], durations["TreeAllreduce"])
+	}
+}
