@@ -14,6 +14,7 @@ import (
 	"dumbnet/internal/host"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
+	"dumbnet/internal/telemetry"
 	"dumbnet/internal/topo"
 	"dumbnet/internal/trace"
 	"dumbnet/internal/vnet"
@@ -181,6 +182,56 @@ func microBenches() []struct {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rec.PacketHop(int64(i), 100, 1, 2, buf)
+			}
+		}},
+		// The telemetry trio quantifies the streaming-analytics loop: the
+		// ring publish path with a live tap attached (must match the
+		// untapped TraceHopRecord at 0 allocs/op), the per-record consumer
+		// ingest, and the windowed detector sweep at fat-tree k=16 fabric
+		// scale (5120 directed link states).
+		{"TelemetryPublish1Subscriber", func(b *testing.B) {
+			rec := trace.NewRecorder(trace.DefaultConfig())
+			tap := rec.Subscribe(1 << 12)
+			buf, _ := benchFrame().Encode()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.PacketHop(int64(i), 100, 1, 2, buf)
+				if tap.Len() == tap.Cap() {
+					b.StopTimer()
+					tap.Drain(func(*trace.Record) {})
+					b.StartTimer()
+				}
+			}
+		}},
+		{"TelemetryIngestHop", func(b *testing.B) {
+			c := telemetry.NewOfflineConsumer(telemetry.DefaultConfig())
+			r := trace.Record{Kind: trace.KindHop, Sw: 3, Port: 5, Dur: 100,
+				Src: packet.MACFromUint64(7), Dst: packet.MACFromUint64(9)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.At = int64(i)
+				c.IngestRecord(&r)
+			}
+		}},
+		{"TelemetryFlushK16", func(b *testing.B) {
+			// A k=16 fat-tree has 320 switches with 16 fabric-facing
+			// ports each; touch every directed link once so the detector
+			// sweep walks the full state table.
+			c := telemetry.NewOfflineConsumer(telemetry.DefaultConfig())
+			r := trace.Record{Kind: trace.KindHop, Dur: 100,
+				Src: packet.MACFromUint64(7), Dst: packet.MACFromUint64(9)}
+			for sw := 1; sw <= 320; sw++ {
+				for p := 1; p <= 16; p++ {
+					r.Sw, r.Port = packet.SwitchID(sw), packet.Tag(p)
+					c.IngestRecord(&r)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.EndWindow()
 			}
 		}},
 		// The path-request trio quantifies the route-service cache: a cold

@@ -26,6 +26,7 @@ import (
 	"dumbnet/internal/mcast"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
+	"dumbnet/internal/telemetry"
 	"dumbnet/internal/topo"
 	"dumbnet/internal/trace"
 	"dumbnet/internal/workload"
@@ -79,6 +80,11 @@ func main() {
 
 		collective = flag.Bool("collective", false, "run the collective workloads: a real multicast broadcast over the fabric, then the flow-level collective suite")
 		mcastBytes = flag.Int("collective-bytes", 100e6, "payload size for the flow-level collective suite")
+
+		telemetryOn   = flag.Bool("telemetry", false, "attach streaming trace analytics (congestion scoreboard, heavy hitters, heal SLO) with a live summary")
+		telemetryWin  = flag.Duration("telemetry-window", 0, "telemetry aggregation window (0 = package default)")
+		telemetryTap  = flag.Int("telemetry-tap", 0, "per-shard tap buffer capacity in records; bursts beyond it are drop-counted, not blocking (0 = package default)")
+		telemetryJSON = flag.String("telemetry-json", "", "write the final merged telemetry snapshot as JSON to this file")
 
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON flight-recorder dump to this file")
 		traceSample = flag.Uint64("trace-sample", 1, "packet-hop sampling: record flows where hash%N==0 (0 disables hop records)")
@@ -143,6 +149,16 @@ func main() {
 	if !*hflood {
 		opts = append(opts, core.WithHostFlood(false))
 	}
+	telemetryCfg := telemetry.DefaultConfig()
+	if *telemetryOn {
+		if *telemetryWin > 0 {
+			telemetryCfg.Window = sim.FromDuration(*telemetryWin)
+		}
+		if *telemetryTap > 0 {
+			telemetryCfg.TapCapacity = *telemetryTap
+		}
+		opts = append(opts, core.WithTelemetry(telemetryCfg))
+	}
 	net, err := core.New(t, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -193,6 +209,24 @@ func main() {
 	}
 	if v := net.Vnet(); v != nil {
 		fmt.Printf("virtualization: %d tenants over %d hosts\n", v.Count(), len(hosts))
+	}
+	if *telemetryOn {
+		hub := net.Telemetry()
+		if hub == nil {
+			log.Fatal("telemetry: hub missing after bringup")
+		}
+		fmt.Printf("telemetry: streaming analytics on, window %v\n", telemetryCfg.Window.Duration())
+		// Live summary line every 25 windows. Single-engine runs only: the
+		// merged view must not be read from inside a shard goroutine.
+		if net.SimGroup() == nil {
+			every := 25 * telemetryCfg.Window
+			var tick func()
+			tick = func() {
+				fmt.Printf("telemetry @%v: %s\n", net.Eng.Now().Duration(), hub.SummaryLine())
+				net.Eng.After(every, tick)
+			}
+			net.Eng.After(every, tick)
+		}
 	}
 	// Sample a few pairs spread across the host list. With tenancy on, the
 	// slices are the traffic domains, so sample inside the first tenant.
@@ -344,6 +378,21 @@ func main() {
 			})
 		}
 		net.Run()
+	}
+
+	if *telemetryOn {
+		hub := net.Telemetry()
+		fmt.Printf("\ntelemetry final: %s\n", hub.SummaryLine())
+		if *telemetryJSON != "" {
+			data, err := hub.SnapshotJSON()
+			if err != nil {
+				log.Fatalf("telemetry: %v", err)
+			}
+			if err := os.WriteFile(*telemetryJSON, append(data, '\n'), 0o644); err != nil {
+				log.Fatalf("telemetry: %v", err)
+			}
+			fmt.Printf("telemetry: wrote merged snapshot to %s\n", *telemetryJSON)
+		}
 	}
 
 	fmt.Printf("\nvirtual time elapsed: %v, events processed: %d\n",

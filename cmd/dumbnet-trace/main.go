@@ -6,6 +6,7 @@
 //	dumbnet-trace out.json              # summary + recovery timelines
 //	dumbnet-trace -full out.json        # full chronological event timeline
 //	dumbnet-trace -recovery out.json    # recovery timelines only
+//	dumbnet-trace -top out.json         # offline telemetry: talkers, hot links, drop causes
 package main
 
 import (
@@ -13,7 +14,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"time"
 
+	"dumbnet/internal/sim"
+	"dumbnet/internal/telemetry"
 	"dumbnet/internal/trace"
 )
 
@@ -21,11 +26,14 @@ func main() {
 	var (
 		full     = flag.Bool("full", false, "print every record as a chronological timeline")
 		recovery = flag.Bool("recovery", false, "print only the reconstructed recovery timelines")
+		top      = flag.Bool("top", false, "replay the dump through the streaming telemetry consumer: top talkers, hottest links, drop-cause breakdown")
+		topK     = flag.Int("top-k", 10, "heavy-hitter sketch size for -top")
+		topWin   = flag.Duration("top-window", 0, "telemetry window for -top (0 = package default)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dumbnet-trace [-full|-recovery] <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: dumbnet-trace [-full|-recovery|-top] <trace.json>")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -41,6 +49,11 @@ func main() {
 		if err := trace.WriteTimeline(os.Stdout, recs); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if *top {
+		printTop(flag.Arg(0), recs, *topK, *topWin)
 		return
 	}
 
@@ -70,5 +83,78 @@ func main() {
 	fmt.Printf("recovery timelines: %d/%d complete\n", complete, len(timelines))
 	for i := range timelines {
 		fmt.Print(timelines[i].String())
+	}
+}
+
+// printTop replays the dump through the same streaming consumer the online
+// telemetry loop runs, then renders the merged snapshot: the offline twin
+// of `dumbnet-emu -telemetry`.
+func printTop(name string, recs []trace.Record, k int, win time.Duration) {
+	cfg := telemetry.DefaultConfig()
+	cfg.TopK = k
+	if win > 0 {
+		cfg.Window = sim.FromDuration(win)
+	}
+	s := telemetry.Offline(recs, cfg)
+	fmt.Printf("%s: %d records replayed over %d windows of %v\n",
+		name, len(recs), s.Windows, cfg.Window.Duration())
+	fmt.Printf("  frames %d, drops %d, flags raised %d / cleared %d, heal-SLO breaches %d\n",
+		s.Frames, s.Drops, s.Raised, s.Cleared, s.HealBreaches)
+
+	if len(s.TopFlows) > 0 {
+		fmt.Printf("\ntop talkers (space-saving sketch, k=%d):\n", k)
+		for _, f := range s.TopFlows {
+			bound := ""
+			if f.Err > 0 {
+				bound = fmt.Sprintf(" (overcount <= %d)", f.Err)
+			}
+			fmt.Printf("  %-44s %8d frames%s\n", f.Flow, f.Count, bound)
+		}
+	}
+
+	if len(s.Links) > 0 {
+		links := append([]telemetry.LinkStat(nil), s.Links...)
+		sort.SliceStable(links, func(i, j int) bool { return links[i].Frames > links[j].Frames })
+		if len(links) > k {
+			links = links[:k]
+		}
+		fmt.Printf("\nhottest links (top %d of %d):\n", len(links), len(s.Links))
+		for _, l := range links {
+			flags := ""
+			if l.Reason != "" {
+				flags = "  [" + l.Reason + "]"
+			}
+			fmt.Printf("  %-16s %8d frames, %d drops%s\n", l.Link, l.Frames, l.Drops, flags)
+		}
+	}
+
+	if len(s.DropCauses) > 0 {
+		causes := make([]string, 0, len(s.DropCauses))
+		for c := range s.DropCauses {
+			causes = append(causes, c)
+		}
+		sort.Slice(causes, func(i, j int) bool {
+			if s.DropCauses[causes[i]] != s.DropCauses[causes[j]] {
+				return s.DropCauses[causes[i]] > s.DropCauses[causes[j]]
+			}
+			return causes[i] < causes[j]
+		})
+		fmt.Println("\ndrop causes:")
+		for _, c := range causes {
+			fmt.Printf("  %-16s %d\n", c, s.DropCauses[c])
+		}
+	}
+
+	printHist := func(label string, h telemetry.HistStat) {
+		if h.Count == 0 {
+			return
+		}
+		fmt.Printf("  %-14s n=%d mean=%v p50=%v p99=%v max=%v\n", label, h.Count,
+			time.Duration(h.Mean), time.Duration(h.P50), time.Duration(h.P99), time.Duration(h.Max))
+	}
+	if s.Recovery.Count > 0 || s.CtrlLatency.Count > 0 {
+		fmt.Println("\nlatency histograms:")
+		printHist("recovery", s.Recovery)
+		printHist("ctrl-path", s.CtrlLatency)
 	}
 }

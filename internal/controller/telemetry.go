@@ -1,0 +1,97 @@
+package controller
+
+import (
+	"fmt"
+	"io"
+)
+
+// The controller's window onto the telemetry subsystem. The controller does
+// not consume the trace stream itself — per-shard telemetry consumers do —
+// but it is the natural owner of the fabric-wide view, so core hands it the
+// telemetry hub behind this interface and the controller republishes the
+// merged state as ctrl.telemetry.* registry metrics plus JSON / Prometheus
+// snapshot exporters. The interface keeps controller free of a dependency
+// on internal/telemetry (which imports host-adjacent packages).
+
+// TelemetryView is the merged fabric view the telemetry hub presents.
+// The counter methods are evaluated lazily at metrics-snapshot time; the
+// exporters render the full state. All methods must only be called from
+// the driver goroutine while the sim is parked.
+type TelemetryView interface {
+	Flagged() int
+	Raised() uint64
+	Cleared() uint64
+	Flushes() uint64
+	TapDropped() uint64
+	HealBreaches() uint64
+	SnapshotJSON() ([]byte, error)
+	WriteProm(w io.Writer) error
+}
+
+// SetTelemetry hands the controller the telemetry hub and registers the
+// ctrl.telemetry.* counter funcs on the controller engine's registry.
+// Idempotent per controller (re-registering the same names would panic).
+func (c *Controller) SetTelemetry(v TelemetryView) {
+	if v == nil || c.telemetry != nil {
+		c.telemetry = v
+		return
+	}
+	c.telemetry = v
+	reg := c.eng.Metrics()
+	reg.CounterFunc("ctrl.telemetry.flagged", func() uint64 {
+		if c.telemetry == nil {
+			return 0
+		}
+		return uint64(c.telemetry.Flagged())
+	})
+	reg.CounterFunc("ctrl.telemetry.flags_raised", func() uint64 {
+		if c.telemetry == nil {
+			return 0
+		}
+		return c.telemetry.Raised()
+	})
+	reg.CounterFunc("ctrl.telemetry.flags_cleared", func() uint64 {
+		if c.telemetry == nil {
+			return 0
+		}
+		return c.telemetry.Cleared()
+	})
+	reg.CounterFunc("ctrl.telemetry.windows", func() uint64 {
+		if c.telemetry == nil {
+			return 0
+		}
+		return c.telemetry.Flushes()
+	})
+	reg.CounterFunc("ctrl.telemetry.tap_dropped", func() uint64 {
+		if c.telemetry == nil {
+			return 0
+		}
+		return c.telemetry.TapDropped()
+	})
+	reg.CounterFunc("ctrl.telemetry.heal_breaches", func() uint64 {
+		if c.telemetry == nil {
+			return 0
+		}
+		return c.telemetry.HealBreaches()
+	})
+}
+
+// Telemetry returns the wired view (nil when telemetry is off).
+func (c *Controller) Telemetry() TelemetryView { return c.telemetry }
+
+// TelemetryJSON renders the merged telemetry snapshot as JSON.
+func (c *Controller) TelemetryJSON() ([]byte, error) {
+	if c.telemetry == nil {
+		return nil, fmt.Errorf("controller: telemetry not enabled")
+	}
+	return c.telemetry.SnapshotJSON()
+}
+
+// WriteTelemetryProm renders the merged telemetry snapshot in Prometheus
+// text exposition format.
+func (c *Controller) WriteTelemetryProm(w io.Writer) error {
+	if c.telemetry == nil {
+		return fmt.Errorf("controller: telemetry not enabled")
+	}
+	return c.telemetry.WriteProm(w)
+}

@@ -21,6 +21,7 @@ import (
 	"dumbnet/internal/host"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
+	"dumbnet/internal/telemetry"
 	"dumbnet/internal/topo"
 	"dumbnet/internal/vnet"
 )
@@ -98,8 +99,14 @@ type Network struct {
 	tenantCls      vnet.Class
 	vnet           *vnet.Manager
 
-	// perpetual marks that self-rescheduling timers (consensus heartbeats)
-	// keep the event queue non-empty forever; drains become time-bounded.
+	// telemetry requested via options (WithTelemetry), applied when the
+	// network boots — last, so the tenant resolver sees carved slices.
+	pendingTelemetry *telemetry.Config
+	hub              *telemetry.Hub
+
+	// perpetual marks that self-rescheduling timers (consensus heartbeats,
+	// telemetry flushes) keep the event queue non-empty forever; drains
+	// become time-bounded.
 	perpetual bool
 }
 
@@ -165,6 +172,7 @@ func New(t *topo.Topology, opts ...Option) (*Network, error) {
 		pendingReplicasAt: o.replicasAt,
 		pendingTenants:    o.tenants,
 		tenantCls:         o.tenantCls,
+		pendingTelemetry:  o.telemetry,
 	}
 	found := false
 	for _, at := range hosts {
@@ -233,7 +241,10 @@ func (n *Network) Bootstrap() error {
 	if err := n.applyPendingReplication(); err != nil {
 		return err
 	}
-	return n.applyPendingTenancy()
+	if err := n.applyPendingTenancy(); err != nil {
+		return err
+	}
+	return n.applyPendingTelemetry()
 }
 
 // applyPendingReplication stands up replication requested at construction
@@ -284,7 +295,10 @@ func (n *Network) Discover(maxPorts int) (controller.DiscoveryReport, error) {
 	if err := n.applyPendingReplication(); err != nil {
 		return report, err
 	}
-	return report, n.applyPendingTenancy()
+	if err := n.applyPendingTenancy(); err != nil {
+		return report, err
+	}
+	return report, n.applyPendingTelemetry()
 }
 
 // reconfigureDiscovery rebuilds the controller with a new port bound.

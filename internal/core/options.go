@@ -5,6 +5,7 @@ import (
 	"dumbnet/internal/controller"
 	"dumbnet/internal/fabric"
 	"dumbnet/internal/host"
+	"dumbnet/internal/telemetry"
 	"dumbnet/internal/trace"
 	"dumbnet/internal/vnet"
 )
@@ -35,6 +36,7 @@ type options struct {
 	policy     string     // routing policy installed on every host; "" = default
 	tenants    int        // -1 = virtualization off; 0 = manager only; n>0 = carve n tenants
 	tenantCls  vnet.Class // degradation class for carved tenants
+	telemetry  *telemetry.Config
 }
 
 func defaultOptions() options {
@@ -140,8 +142,20 @@ func WithHostFlood(on bool) Option {
 }
 
 // WithPolicy installs a registered host routing policy (host.PolicyNames:
-// "single", "sticky", "rr", "flowlet", "ecn") on every host at
+// "single", "sticky", "rr", "flowlet", "ecn", "telemetry") on every host at
 // construction.
 func WithPolicy(name string) Option {
 	return func(o *options) { o.policy = name }
+}
+
+// WithTelemetry enables the online telemetry subsystem once the network
+// boots: a streaming consumer taps each engine's flight recorder, windowed
+// detectors publish verdicts to per-shard scoreboards, and the controller
+// exposes the merged view (ctrl.telemetry.* metrics, snapshot exporters).
+// Combine with WithPolicy("telemetry") to close the loop — agents then
+// steer flows off scoreboard-flagged links. Applied after replication and
+// tenancy, so the heavy-hitter sketch sees tenant labels. Use
+// telemetry.DefaultConfig() for standard thresholds.
+func WithTelemetry(cfg telemetry.Config) Option {
+	return func(o *options) { o.telemetry = &cfg }
 }

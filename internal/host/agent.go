@@ -217,6 +217,10 @@ type Agent struct {
 	// per-flow binding. Replace with NewFlowletChooser for flowlet TE.
 	Chooser RouteChooser
 
+	// linkHealth, when set, lets path-aware choosers (the "telemetry"
+	// policy) consult the telemetry scoreboard of this agent's shard.
+	linkHealth LinkHealth
+
 	stats Stats
 }
 
@@ -455,7 +459,12 @@ func (a *Agent) routeForHops(dst packet.MAC, flow FlowKey) (packet.Path, []HopRe
 		}
 		entry = a.table.Lookup(dst)
 	}
-	idx := a.Chooser.Choose(a.eng.Now(), flow, len(entry.Paths))
+	var idx int
+	if pa, ok := a.Chooser.(PathAwareChooser); ok {
+		idx = pa.ChoosePath(a.eng.Now(), flow, entry.Paths)
+	} else {
+		idx = a.Chooser.Choose(a.eng.Now(), flow, len(entry.Paths))
+	}
 	if idx < 0 || idx >= len(entry.Paths) {
 		idx = 0
 	}

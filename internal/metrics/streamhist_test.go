@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStreamHistBasics(t *testing.T) {
+	var h StreamHist
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero-value histogram is not empty")
+	}
+	for _, v := range []int64{5, 10, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 115 || h.Min() != 5 || h.Max() != 100 {
+		t.Fatalf("count/sum/min/max = %d/%d/%d/%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if got := h.Mean(); got < 38 || got > 39 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestStreamHistNegativeClampsToZero(t *testing.T) {
+	var h StreamHist
+	h.Observe(-50)
+	if h.Min() != 0 || h.Sum() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation not clamped: min=%d sum=%d", h.Min(), h.Sum())
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("quantile of all-zero histogram = %d", h.Quantile(0.5))
+	}
+}
+
+// Quantile answers must bracket the exact value within the documented one
+// power-of-two resolution.
+func TestStreamHistQuantileResolution(t *testing.T) {
+	var h StreamHist
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]int64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 20)
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		// Exact rank value, computed the slow way.
+		exact := quantileExact(samples, q)
+		if got < exact {
+			t.Fatalf("q%.2f = %d underestimates exact %d (must be an upper bound)", q, got, exact)
+		}
+		if got > 2*exact+1 {
+			t.Fatalf("q%.2f = %d exceeds 2x the exact %d", q, got, exact)
+		}
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("out-of-range q not clamped")
+	}
+	// The top quantile never exceeds the true max.
+	if h.Quantile(1) > h.Max() {
+		t.Fatalf("q1.0 = %d > max %d", h.Quantile(1), h.Max())
+	}
+}
+
+func quantileExact(samples []int64, q float64) int64 {
+	sorted := append([]int64(nil), samples...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	rank := int(q * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func TestStreamHistMerge(t *testing.T) {
+	var a, b, both StreamHist
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i)
+		both.Observe(i)
+	}
+	for i := int64(1000); i <= 1100; i++ {
+		b.Observe(i)
+		both.Observe(i)
+	}
+	a.Merge(&b)
+	a.Merge(nil)           // nil-safe
+	a.Merge(&StreamHist{}) // empty is a no-op
+	if a.Count() != both.Count() || a.Sum() != both.Sum() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merge drifted: %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.Count(), a.Sum(), a.Min(), a.Max(), both.Count(), both.Sum(), both.Min(), both.Max())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("merged q%.2f = %d, combined = %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	// Merging into an empty histogram copies min correctly.
+	var c StreamHist
+	c.Merge(&b)
+	if c.Min() != 1000 || c.Count() != b.Count() {
+		t.Fatalf("merge into empty: min=%d count=%d", c.Min(), c.Count())
+	}
+}
+
+func TestStreamHistReset(t *testing.T) {
+	var h StreamHist
+	h.Observe(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset did not empty the histogram")
+	}
+	h.Observe(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+// Observe must never allocate: it runs on telemetry flush paths and inside
+// the registry's always-on instruments.
+func TestStreamHistObserveAllocFree(t *testing.T) {
+	var h StreamHist
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Fatalf("Observe allocates %v/op, want 0", n)
+	}
+	var o StreamHist
+	o.Observe(1)
+	if n := testing.AllocsPerRun(100, func() { h.Merge(&o) }); n != 0 {
+		t.Fatalf("Merge allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkStreamHistObserve(b *testing.B) {
+	var h StreamHist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,150 @@
+package telemetry_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dumbnet/internal/packet"
+	"dumbnet/internal/telemetry"
+)
+
+func flow(i int) telemetry.FlowID {
+	return telemetry.FlowID{
+		Src: packet.MAC{0x02, 0, 0, 0, byte(i >> 8), byte(i)},
+		Dst: packet.MAC{0x02, 0, 0, 0, 0xff, byte(i)},
+	}
+}
+
+func TestTopKExactUnderCapacity(t *testing.T) {
+	s := telemetry.NewTopK(4)
+	for i := 0; i < 3; i++ {
+		s.Add(flow(i), uint64(10*(i+1)))
+	}
+	top := s.Top()
+	if len(top) != 3 {
+		t.Fatalf("len = %d, want 3", len(top))
+	}
+	if top[0].Flow != flow(2) || top[0].Count != 30 || top[0].Err != 0 {
+		t.Fatalf("top[0] = %+v, want flow(2)/30/exact", top[0])
+	}
+	for _, e := range top {
+		if e.Err != 0 {
+			t.Fatalf("under-capacity entry carries error bound: %+v", e)
+		}
+	}
+}
+
+func TestTopKEvictionErrorBounds(t *testing.T) {
+	s := telemetry.NewTopK(2)
+	s.Add(flow(0), 100)
+	s.Add(flow(1), 5)
+	// flow(2) evicts the minimum (flow 1, count 5) and inherits its count
+	// as the overestimation bound.
+	s.Offer(flow(2))
+	top := s.Top()
+	if len(top) != 2 {
+		t.Fatalf("len = %d, want 2", len(top))
+	}
+	if top[1].Flow != flow(2) || top[1].Count != 6 || top[1].Err != 5 {
+		t.Fatalf("evicting entry = %+v, want count 6 err 5", top[1])
+	}
+	// Space-saving guarantee: a flow with true count > min is always present.
+	if top[0].Flow != flow(0) || top[0].Count != 100 {
+		t.Fatalf("heavy hitter lost: %+v", top[0])
+	}
+}
+
+// A genuinely heavy flow must survive a stream of one-off flows (the
+// space-saving property the congestion scoreboard relies on).
+func TestTopKHeavyHitterSurvivesNoise(t *testing.T) {
+	s := telemetry.NewTopK(8)
+	heavy := flow(9999)
+	for i := 0; i < 1000; i++ {
+		s.Offer(heavy)
+		s.Offer(flow(i)) // 1000 distinct mice
+	}
+	for _, e := range s.Top() {
+		if e.Flow == heavy {
+			if e.Count < 1000 {
+				t.Fatalf("heavy hitter undercounted: %+v", e)
+			}
+			return
+		}
+	}
+	t.Fatal("heavy hitter evicted by noise")
+}
+
+func TestTopKDeterministicOrder(t *testing.T) {
+	build := func() []telemetry.FlowCount {
+		s := telemetry.NewTopK(4)
+		for i := 0; i < 16; i++ {
+			s.Add(flow(i%5), 1) // ties everywhere
+		}
+		return s.Top()
+	}
+	a, b := build(), build()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same stream, different top-k order:\n%v\n%v", a, b)
+	}
+}
+
+func TestTopKMerge(t *testing.T) {
+	a := telemetry.NewTopK(3)
+	b := telemetry.NewTopK(3)
+	a.Add(flow(1), 10)
+	a.Add(flow(2), 20)
+	b.Add(flow(2), 5)
+	b.Add(flow(3), 1)
+	a.Merge(b)
+	a.Merge(nil) // nil-safe
+	top := a.Top()
+	if top[0].Flow != flow(2) || top[0].Count != 25 {
+		t.Fatalf("merged top = %+v, want flow(2)/25", top[0])
+	}
+	if len(top) != 3 {
+		t.Fatalf("merged len = %d, want 3", len(top))
+	}
+}
+
+// Merge with a full sketch keeps the heavier of the colliding entries and
+// widens the error bound.
+func TestTopKMergeEviction(t *testing.T) {
+	a := telemetry.NewTopK(2)
+	a.Add(flow(1), 10)
+	a.Add(flow(2), 3)
+	b := telemetry.NewTopK(2)
+	b.Add(flow(3), 50)
+	b.Add(flow(4), 1) // lighter than a's minimum: must not displace it
+	a.Merge(b)
+	top := a.Top()
+	if top[0].Flow != flow(3) || top[0].Count != 50 || top[0].Err != 3 {
+		t.Fatalf("merged heavy entry = %+v, want flow(3)/50/err 3", top[0])
+	}
+	if top[1].Flow != flow(1) {
+		t.Fatalf("surviving entry = %+v, want flow(1)", top[1])
+	}
+}
+
+func TestTopKOfferNoAllocsWhenSaturated(t *testing.T) {
+	s := telemetry.NewTopK(8)
+	for i := 0; i < 8; i++ {
+		s.Add(flow(i), uint64(i+100))
+	}
+	known := flow(3)
+	if n := testing.AllocsPerRun(200, func() { s.Offer(known) }); n != 0 {
+		t.Fatalf("Offer on a monitored flow allocates %v/op, want 0", n)
+	}
+}
+
+func TestTopKReset(t *testing.T) {
+	s := telemetry.NewTopK(2)
+	s.Add(flow(1), 10)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("len after reset = %d", s.Len())
+	}
+	s.Add(flow(2), 1)
+	if top := s.Top(); len(top) != 1 || top[0].Flow != flow(2) {
+		t.Fatalf("sketch unusable after reset: %+v", top)
+	}
+}

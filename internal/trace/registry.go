@@ -2,7 +2,6 @@ package trace
 
 import (
 	"fmt"
-	"math/bits"
 	"time"
 
 	"dumbnet/internal/metrics"
@@ -42,100 +41,13 @@ func (g *Gauge) Add(d float64) { g.v += d }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return g.v }
 
-// histBuckets is the number of power-of-two histogram buckets: bucket i
-// counts observations v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i).
-const histBuckets = 64
-
-// Histogram aggregates sim-time durations (int64 nanoseconds) into
-// power-of-two buckets — coarse (±2×) but allocation-free and O(1), which
-// is the right trade for an always-on recorder. Negative observations are
-// clamped to zero.
-type Histogram struct {
-	buckets [histBuckets + 1]uint64
-	count   uint64
-	sum     int64
-	min     int64
-	max     int64
-}
-
-// Observe records one duration.
-func (h *Histogram) Observe(v int64) {
-	if v < 0 {
-		v = 0
-	}
-	if h.count == 0 || v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.count++
-	h.sum += v
-	h.buckets[bits.Len64(uint64(v))]++
-}
-
-// ObserveSim records a sim.Time without the import (any int64 nanosecond
-// count).
-func (h *Histogram) ObserveSim(v int64) { h.Observe(v) }
-
-// Count reports the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
-
-// Sum reports the total of all observations.
-func (h *Histogram) Sum() int64 { return h.sum }
-
-// Min reports the smallest observation (0 when empty).
-func (h *Histogram) Min() int64 {
-	if h.count == 0 {
-		return 0
-	}
-	return h.min
-}
-
-// Max reports the largest observation (0 when empty).
-func (h *Histogram) Max() int64 { return h.max }
-
-// Mean reports the arithmetic mean (0 when empty).
-func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.count)
-}
-
-// Quantile returns an upper bound for the q-quantile (q in [0,1]): the top
-// edge of the bucket holding the q-th observation. Resolution is one
-// power of two.
-func (h *Histogram) Quantile(q float64) int64 {
-	if h.count == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := uint64(q * float64(h.count))
-	if rank >= h.count {
-		rank = h.count - 1
-	}
-	var seen uint64
-	for i, c := range h.buckets {
-		seen += c
-		if seen > rank {
-			if i == 0 {
-				return 0
-			}
-			edge := int64(1) << uint(i)
-			if edge > h.max || edge < 0 {
-				return h.max
-			}
-			return edge
-		}
-	}
-	return h.max
-}
+// Histogram is the registry's sim-time histogram: metrics.StreamHist — fixed
+// log2 buckets, 0-alloc Observe, mergeable across shards. The alias keeps
+// every existing registry instrument (host.pathreq.latency, the recovery
+// timelines, ctrl.route.pgsize) on the bounded streaming implementation
+// without touching their call sites; metrics.Dist remains for experiments
+// that genuinely need exact percentiles over a bounded sample set.
+type Histogram = metrics.StreamHist
 
 // instrument binds one name to one kind of holder.
 type instrument struct {
@@ -248,11 +160,11 @@ type SnapshotEntry struct {
 // HistSnapshot is a histogram's summary at snapshot time. Values marks a
 // dimensionless histogram (rendered as raw numbers, not durations).
 type HistSnapshot struct {
-	Count          uint64
-	Min, Max       int64
-	Mean           float64
-	P50, P99       int64
-	Values         bool
+	Count    uint64
+	Min, Max int64
+	Mean     float64
+	P50, P99 int64
+	Values   bool
 }
 
 // Snapshot is the registry's state at one sim time.

@@ -291,6 +291,7 @@ type Recorder struct {
 	next  int    // next write position
 	count int    // records currently held (≤ len(ring))
 	total uint64 // records ever appended
+	taps  []*Tap // live subscriptions, offered every appended record
 }
 
 // NewRecorder allocates the ring up front.
@@ -304,7 +305,10 @@ func NewRecorder(cfg Config) *Recorder {
 // Config returns the recorder's configuration.
 func (r *Recorder) Config() Config { return r.cfg }
 
-// append writes one record, overwriting the oldest when full.
+// append writes one record, overwriting the oldest when full, and offers a
+// copy to every live tap. Both halves are allocation-free: the ring write is
+// an indexed copy, and Tap.offer either copies into the tap's preallocated
+// buffer or bumps its drop counter.
 func (r *Recorder) append(rec Record) {
 	r.ring[r.next] = rec
 	r.next++
@@ -315,6 +319,116 @@ func (r *Recorder) append(rec Record) {
 		r.count++
 	}
 	r.total++
+	for _, t := range r.taps {
+		t.offer(rec)
+	}
+}
+
+// Tap is a non-blocking, drop-counted subscription onto a Recorder: a
+// bounded FIFO of Record values the recorder copies into as it appends.
+// When the buffer is full the new record is discarded and Dropped()
+// advances — the publisher (the simulation hot path) never blocks and never
+// allocates. A consumer drains at its own pace (telemetry flush events) with
+// Drain. Like the recorder itself, a tap is single-threaded: subscribe and
+// drain on the engine that owns the recorder.
+type Tap struct {
+	buf     []Record
+	head    int    // next record to drain
+	n       int    // records currently queued (≤ len(buf))
+	dropped uint64 // records discarded because the buffer was full
+}
+
+// DefaultTapCapacity bounds a subscription created with capacity <= 0.
+const DefaultTapCapacity = 1 << 15
+
+// Subscribe attaches a new tap with the given buffer capacity (records);
+// capacity <= 0 selects DefaultTapCapacity. The buffer is allocated once,
+// up front. Nil-safe: a nil recorder returns a nil tap, whose methods are
+// all no-ops.
+func (r *Recorder) Subscribe(capacity int) *Tap {
+	if r == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultTapCapacity
+	}
+	t := &Tap{buf: make([]Record, capacity)}
+	r.taps = append(r.taps, t)
+	return t
+}
+
+// Unsubscribe detaches a tap; further records are no longer offered to it.
+// Records already queued remain drainable.
+func (r *Recorder) Unsubscribe(t *Tap) {
+	if r == nil || t == nil {
+		return
+	}
+	for i, have := range r.taps {
+		if have == t {
+			r.taps = append(r.taps[:i], r.taps[i+1:]...)
+			return
+		}
+	}
+}
+
+// offer copies one record into the tap, or counts a drop when full.
+func (t *Tap) offer(rec Record) {
+	if t.n == len(t.buf) {
+		t.dropped++
+		return
+	}
+	i := t.head + t.n
+	if i >= len(t.buf) {
+		i -= len(t.buf)
+	}
+	t.buf[i] = rec
+	t.n++
+}
+
+// Drain pops every queued record oldest-first, invoking fn with a pointer
+// into the tap's buffer (valid only for the duration of the call — copy to
+// retain). Returns the number of records drained.
+func (t *Tap) Drain(fn func(*Record)) int {
+	if t == nil {
+		return 0
+	}
+	drained := 0
+	for t.n > 0 {
+		rec := &t.buf[t.head]
+		t.head++
+		if t.head == len(t.buf) {
+			t.head = 0
+		}
+		t.n--
+		drained++
+		fn(rec)
+	}
+	return drained
+}
+
+// Len reports how many records are queued.
+func (t *Tap) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Cap reports the tap's buffer capacity.
+func (t *Tap) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Dropped reports how many records were discarded because the buffer was
+// full — the consumer fell more than Cap() records behind the publisher.
+func (t *Tap) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
 }
 
 // Len reports how many records the ring currently holds.
@@ -358,7 +472,9 @@ func (r *Recorder) Records() []Record {
 	return out
 }
 
-// Reset empties the ring (capacity is retained).
+// Reset empties the ring (capacity is retained). Taps are left attached and
+// keep their queued records and drop counts: resetting the flight recorder
+// rewinds the post-mortem view, not live subscriptions.
 func (r *Recorder) Reset() {
 	if r == nil {
 		return
@@ -369,11 +485,20 @@ func (r *Recorder) Reset() {
 // flowHash mixes the 12 Ethernet address bytes (dst ‖ src) with FNV-1a. It
 // is the flow-sampling key: deterministic for an address pair, so the same
 // seed yields the same sampled flows.
+// A splitmix64 finalizer follows the FNV loop because SampleMod reads the
+// hash's low bits, and raw FNV-1a over near-identical MAC pairs leaves
+// those badly skewed — without it, mod-2 sampling keeps ~100% of
+// sequentially-numbered hosts (see TestFlowHashSamplingUniformity).
 func flowHash(frame []byte) uint64 {
 	h := uint64(1469598103934665603)
 	for _, b := range frame[:12] {
 		h = (h ^ uint64(b)) * 1099511628211
 	}
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
 	return h
 }
 
