@@ -35,12 +35,23 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Hybrid scale runs additionally record simulation throughput and the
+	// memory high-water marks of the run.
+	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
+	FlowsCompleted int64   `json:"flows_completed,omitempty"`
+	HeapSysBytes   int64   `json:"heap_sys_bytes,omitempty"`
+	PeakRSSBytes   int64   `json:"peak_rss_bytes,omitempty"`
 }
 
 type benchRun struct {
 	Label      string        `json:"label"`
 	Go         string        `json:"go"`
 	Benchmarks []benchResult `json:"benchmarks"`
+	// Memory footprint at the end of the run: the Go heap's OS footprint
+	// (runtime.ReadMemStats HeapSys) and the process high-water RSS where
+	// the OS exposes it (/proc/self/status VmHWM on Linux, else 0).
+	HeapSysBytes int64 `json:"heap_sys_bytes,omitempty"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 type benchFile struct {
@@ -397,6 +408,15 @@ func microBenches() []struct {
 	}
 }
 
+// allBenches is the full recorded suite: the datapath microbenchmarks
+// plus the hybrid fluid-layer benchmarks.
+func allBenches() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return append(microBenches(), hybridBenches()...)
+}
+
 // benchRouteService builds a standalone controller over a k=8 fat-tree
 // master view (80 switches, 64 hosts) and hands back its route service plus
 // a sample host pair — no fabric attached, route-service state only.
@@ -489,7 +509,7 @@ func benchSwitchForward(b *testing.B, rec *trace.Recorder) {
 // of the benchmark name) and returns the labeled run.
 func runBenchSuite(label, filter string) (benchRun, error) {
 	run := benchRun{Label: label, Go: runtime.Version()}
-	for _, mb := range microBenches() {
+	for _, mb := range allBenches() {
 		if filter != "" && !strings.Contains(mb.name, filter) {
 			continue
 		}
@@ -512,6 +532,8 @@ func runBenchSuite(label, filter string) (benchRun, error) {
 	if shapeMisses > 0 {
 		fmt.Fprintf(os.Stderr, "note: %d bench iteration(s) missed experiment shape checks (timing noise under load; verify with -run)\n", shapeMisses)
 	}
+	run.HeapSysBytes = heapSysBytes()
+	run.PeakRSSBytes = peakRSSBytes()
 	return run, nil
 }
 
@@ -547,7 +569,11 @@ func runBenchJSON(path, label string, appendRun bool, filter string) error {
 		return err
 	}
 	file.Runs = append(file.Runs, run)
+	return writeBenchFile(path, file)
+}
 
+// writeBenchFile marshals and writes a BENCH_results.json-format file.
+func writeBenchFile(path string, file benchFile) error {
 	out, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
 		return err

@@ -23,6 +23,7 @@ import (
 	"dumbnet/internal/chaos"
 	"dumbnet/internal/core"
 	"dumbnet/internal/host"
+	"dumbnet/internal/hybrid"
 	"dumbnet/internal/mcast"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
@@ -80,6 +81,9 @@ func main() {
 
 		collective = flag.Bool("collective", false, "run the collective workloads: a real multicast broadcast over the fabric, then the flow-level collective suite")
 		mcastBytes = flag.Int("collective-bytes", 100e6, "payload size for the flow-level collective suite")
+
+		hybridOn = flag.Bool("hybrid", false, "attach the hybrid fluid-flow layer and run a bulk-transfer wave through it (incompatible with -shards)")
+		hybridMB = flag.Int("hybrid-mb", 8, "per-transfer size in MB for the -hybrid wave")
 
 		telemetryOn   = flag.Bool("telemetry", false, "attach streaming trace analytics (congestion scoreboard, heavy hitters, heal SLO) with a live summary")
 		telemetryWin  = flag.Duration("telemetry-window", 0, "telemetry aggregation window (0 = package default)")
@@ -148,6 +152,9 @@ func main() {
 	}
 	if !*hflood {
 		opts = append(opts, core.WithHostFlood(false))
+	}
+	if *hybridOn {
+		opts = append(opts, core.WithHybridFlows(hybrid.Config{}))
 	}
 	telemetryCfg := telemetry.DefaultConfig()
 	if *telemetryOn {
@@ -338,6 +345,10 @@ func main() {
 		runCollective(net, hosts, float64(*mcastBytes))
 	}
 
+	if *hybridOn {
+		runHybridWave(net, hosts, *hybridMB)
+	}
+
 	if *iperf > 0 {
 		src, dst := pairs[0][0], pairs[0][1]
 		fmt.Printf("\niperf %v -> %v for %v:\n", src, dst, *iperf)
@@ -397,6 +408,42 @@ func main() {
 
 	fmt.Printf("\nvirtual time elapsed: %v, events processed: %d\n",
 		net.Eng.Now().Duration(), net.Eng.Processed())
+}
+
+// runHybridWave pushes a ring of bulk transfers through the fluid layer —
+// every host sends to its third successor — and reports flow completion
+// times, layer statistics and the completion digest. Same seed, same
+// digest: the line is usable as a determinism golden.
+func runHybridWave(net *core.Network, hosts []core.MAC, mb int) {
+	fmt.Println("\nhybrid fluid wave:")
+	n := len(hosts)
+	bytes := int64(mb) << 20
+	var minFCT, maxFCT sim.Time
+	done := 0
+	for i := 0; i < n; i++ {
+		_, err := net.OpenFlow(hosts[i], hosts[(i+3)%n], bytes, func(f *hybrid.Flow) {
+			fct := f.FCT()
+			if done == 0 || fct < minFCT {
+				minFCT = fct
+			}
+			if fct > maxFCT {
+				maxFCT = fct
+			}
+			done++
+		})
+		if err != nil {
+			log.Fatalf("hybrid: open flow: %v", err)
+		}
+	}
+	net.Run()
+	st := net.Hybrid().Stats()
+	fmt.Printf("  %d transfers of %d MB: fct min %v max %v\n", done, mb, minFCT.Duration(), maxFCT.Duration())
+	fmt.Printf("  layer: opened %d completed %d failed %d rerouted %d active %d\n",
+		st.Opened, st.Completed, st.Failed, st.Rerouted, st.Active)
+	fmt.Printf("  hybrid digest %016x\n", net.Hybrid().Digest())
+	if st.Active != 0 || st.Failed > 0 || done != n {
+		log.Fatalf("hybrid: wave did not complete cleanly (%d/%d done)", done, n)
+	}
 }
 
 // runCollective exercises the collective workloads two ways: a real

@@ -19,6 +19,7 @@ import (
 	"dumbnet/internal/controller"
 	"dumbnet/internal/fabric"
 	"dumbnet/internal/host"
+	"dumbnet/internal/hybrid"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/telemetry"
@@ -104,6 +105,9 @@ type Network struct {
 	pendingTelemetry *telemetry.Config
 	hub              *telemetry.Hub
 
+	// hybrid fluid-flow layer (WithHybridFlows); nil in pure packet mode.
+	hybrid *hybrid.Layer
+
 	// perpetual marks that self-rescheduling timers (consensus heartbeats,
 	// telemetry flushes) keep the event queue non-empty forever; drains
 	// become time-bounded.
@@ -131,6 +135,9 @@ func New(t *topo.Topology, opts ...Option) (*Network, error) {
 	cfg := o.cfg
 	if o.shards > 1 && (o.replicas > 0 || len(o.replicasAt) > 0) {
 		return nil, fmt.Errorf("core: WithShards(%d) cannot be combined with controller replication (consensus timers are single-engine)", o.shards)
+	}
+	if o.shards > 1 && o.hybrid != nil {
+		return nil, fmt.Errorf("core: WithShards(%d) cannot be combined with WithHybridFlows (the fluid layer shares one engine clock)", o.shards)
 	}
 
 	var (
@@ -210,6 +217,14 @@ func New(t *topo.Topology, opts ...Option) (*Network, error) {
 	}
 	if o.tracer != nil {
 		n.Eng.SetTracer(o.tracer)
+	}
+	if o.hybrid != nil {
+		// Built after host attachment so every host link gets its watcher.
+		ly, err := hybrid.New(n.Eng, fab, *o.hybrid)
+		if err != nil {
+			return nil, err
+		}
+		n.hybrid = ly
 	}
 	return n, nil
 }
@@ -461,6 +476,31 @@ func (n *Network) Controller() *controller.Controller { return n.Ctrl }
 
 // SimGroup returns the sharded engine group, nil for single-engine runs.
 func (n *Network) SimGroup() *sim.ShardGroup { return n.simGroup }
+
+// Hybrid returns the fluid bulk-traffic layer, nil unless the network was
+// constructed with WithHybridFlows.
+func (n *Network) Hybrid() *hybrid.Layer { return n.hybrid }
+
+// ErrNoHybrid is returned by OpenFlow on a pure packet-mode network.
+var ErrNoHybrid = errors.New("core: hybrid mode not enabled (construct with WithHybridFlows)")
+
+// OpenFlow starts a bulk transfer of `bytes` payload bytes from src to dst
+// on the hybrid fluid layer. The route is reserved packet-side; the
+// transfer then advances fluidly and onDone (optional) fires at its
+// completion engine event. Run the engine to make progress.
+func (n *Network) OpenFlow(src, dst MAC, bytes int64, onDone func(*hybrid.Flow)) (*hybrid.Flow, error) {
+	if n.hybrid == nil {
+		return nil, ErrNoHybrid
+	}
+	a, ok := n.agents[src]
+	if !ok {
+		return nil, ErrNoSuchHost
+	}
+	if !n.booted {
+		return nil, ErrNotDeployed
+	}
+	return n.hybrid.Open(a, dst, bytes, host.FlowKey{Dst: dst, Proto: 0xFD}, onDone), nil
+}
 
 // RunChaos executes the chaos scenario stored by WithChaos over the booted
 // network.

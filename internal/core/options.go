@@ -5,6 +5,7 @@ import (
 	"dumbnet/internal/controller"
 	"dumbnet/internal/fabric"
 	"dumbnet/internal/host"
+	"dumbnet/internal/hybrid"
 	"dumbnet/internal/telemetry"
 	"dumbnet/internal/trace"
 	"dumbnet/internal/vnet"
@@ -37,6 +38,7 @@ type options struct {
 	tenants    int        // -1 = virtualization off; 0 = manager only; n>0 = carve n tenants
 	tenantCls  vnet.Class // degradation class for carved tenants
 	telemetry  *telemetry.Config
+	hybrid     *hybrid.Config
 }
 
 func defaultOptions() options {
@@ -146,6 +148,19 @@ func WithHostFlood(on bool) Option {
 // construction.
 func WithPolicy(name string) Option {
 	return func(o *options) { o.policy = name }
+}
+
+// WithHybridFlows enables the hybrid packet/flow simulation mode: bulk
+// transfers opened with Network.OpenFlow reserve their source route
+// packet-side (path table, controller round-trip, retries) and then
+// advance as fluid flows under max-min fair sharing inside the same event
+// engine — the scaling mode that reaches k=32/k=64 fat-trees on one core.
+// Control traffic, failure recovery and telemetry stay packet-accurate.
+// Incompatible with WithShards (the fluid layer shares one engine clock);
+// combining them is a construction error. Pass hybrid.Config{} for
+// defaults.
+func WithHybridFlows(cfg hybrid.Config) Option {
+	return func(o *options) { o.hybrid = &cfg }
 }
 
 // WithTelemetry enables the online telemetry subsystem once the network

@@ -134,6 +134,9 @@ func build(eng *sim.Engine, g *sim.ShardGroup, part map[packet.SwitchID]int, t *
 // Group returns the shard group of a sharded build, nil otherwise.
 func (f *Fabric) Group() *sim.ShardGroup { return f.group }
 
+// Config returns the physical parameters the fabric was built with.
+func (f *Fabric) Config() Config { return f.cfg }
+
 // EngineFor returns the engine that owns a switch: the fabric engine in a
 // single-shard build, the switch's shard engine in a sharded one. Hosts and
 // any other component wired to the switch must live on this engine.

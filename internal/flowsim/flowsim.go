@@ -5,10 +5,18 @@
 // leaf-to-leaf aggregates, failure-recovery timelines, and the HiBench
 // macro-benchmarks — run here, where packet-level simulation would be
 // needlessly expensive.
+//
+// Rate recomputation is incremental: every mutation (flow add/finish,
+// reroute, capacity change) dirties the links it touches, and settle()
+// re-waterfills only the connected component of the flow↔link sharing
+// graph reachable from the dirty links. Max-min fair allocation
+// decomposes exactly over these components, so flows outside the
+// closure keep bit-identical rates; allocate() retains the classic
+// full progressive-filling pass as the brute-force oracle the
+// incremental path is tested against.
 package flowsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +29,7 @@ type LinkID int
 // Network is the capacity graph.
 type Network struct {
 	capacity []float64 // bits/sec per link
+	onSet    []func(LinkID)
 }
 
 // NewNetwork creates an empty network.
@@ -39,9 +48,15 @@ func (n *Network) NumLinks() int { return len(n.capacity) }
 // Capacity returns a link's capacity.
 func (n *Network) Capacity(l LinkID) float64 { return n.capacity[int(l)] }
 
-// SetCapacity changes a link's capacity (e.g. to 0 on failure). Callers
-// should follow with Simulator.Reallocate via a scheduled action.
-func (n *Network) SetCapacity(l LinkID, capacityBps float64) { n.capacity[int(l)] = capacityBps }
+// SetCapacity changes a link's capacity (e.g. to 0 on failure). Attached
+// simulators are notified and re-waterfill the affected component at the
+// next settle point.
+func (n *Network) SetCapacity(l LinkID, capacityBps float64) {
+	n.capacity[int(l)] = capacityBps
+	for _, fn := range n.onSet {
+		fn(l)
+	}
+}
 
 // Flow is one transfer.
 type Flow struct {
@@ -55,16 +70,42 @@ type Flow struct {
 	Finished bool
 	End      float64
 
+	// remaining is the unsent volume at time upd; it is drained lazily,
+	// only when the flow's rate changes, so advancing the clock is O(1)
+	// in the number of active flows.
 	remaining float64
+	upd       float64
 	rate      float64
 	active    bool
+
+	sim       *Simulator
+	uniq      []LinkID // deduplicated Path, first-occurrence order
+	aseq      int64    // activation sequence: per-link lists sort by this
+	ver       int32    // invalidates stale finish-heap entries
+	activeIdx int      // position in Simulator.active (swap-remove)
+	fixed     bool     // scratch: waterfill fixed-flow flag
+	mark      int64    // scratch: closure-visited epoch
 }
 
 // Rate returns the flow's current allocation (bits/sec).
 func (f *Flow) Rate() float64 { return f.rate }
 
-// Remaining returns unsent bits.
-func (f *Flow) Remaining() float64 { return f.remaining }
+// Remaining returns unsent bits at the simulator's current time.
+func (f *Flow) Remaining() float64 {
+	if f.Finished {
+		return 0
+	}
+	rem := f.remaining
+	if f.sim != nil && f.active && f.rate > 0 && !math.IsInf(f.rate, 1) {
+		if dt := f.sim.now - f.upd; dt > 0 {
+			rem -= f.rate * dt
+			if rem < 0 {
+				rem = 0
+			}
+		}
+	}
+	return rem
+}
 
 // Duration is the flow completion time in seconds.
 func (f *Flow) Duration() float64 { return f.End - f.Start }
@@ -74,27 +115,135 @@ var ErrNegativeTime = errors.New("flowsim: action scheduled in the past")
 
 type action struct {
 	at  float64
-	seq int
+	seq int64
 	fn  func()
 }
 
+// actionHeap is a concrete-typed binary min-heap ordered by (at, seq).
+// It deliberately avoids container/heap: the interface's Push/Pop go
+// through `any`, which boxes one allocation per scheduled action.
 type actionHeap []action
 
-func (h actionHeap) Len() int { return len(h) }
-func (h actionHeap) Less(i, j int) bool {
+func (h actionHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h actionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *actionHeap) Push(x any)   { *h = append(*h, x.(action)) }
-func (h *actionHeap) Pop() any {
+
+func (h *actionHeap) push(a action) {
+	*h = append(*h, a)
+	h.up(len(*h) - 1)
+}
+
+func (h *actionHeap) pop() action {
 	old := *h
-	n := len(old)
-	a := old[n-1]
-	*h = old[:n-1]
+	a := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = action{} // release fn for GC
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
 	return a
+}
+
+func (h actionHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h actionHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// finEntry is a projected flow completion. Entries are invalidated rather
+// than removed when a flow's rate changes: ver must match the flow's
+// current version for the entry to count.
+type finEntry struct {
+	at   float64
+	aseq int64
+	ver  int32
+	f    *Flow
+}
+
+type finHeap []finEntry
+
+func (h finHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].aseq < h[j].aseq
+}
+
+func (h *finHeap) push(e finEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *finHeap) pop() finEntry {
+	old := *h
+	e := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = finEntry{}
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return e
+}
+
+func (h finHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h finHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Simulator advances flows through time.
@@ -102,22 +251,76 @@ type Simulator struct {
 	net     *Network
 	now     float64
 	flows   []*Flow
-	active  []*Flow // incrementally maintained: started, unfinished
+	active  []*Flow // unordered (swap-remove); sort by aseq when order matters
 	actions actionHeap
-	seq     int
+	fins    finHeap
+	seq     int64
+	aseqCtr int64
+
+	// linkFlows[l] holds the active flows traversing link l, ordered by
+	// activation sequence — the same order the oracle's progressive
+	// filling builds its per-link lists in, which is what makes the
+	// incremental waterfill bit-identical.
+	linkFlows [][]*Flow
+
+	dirty     []LinkID
+	linkDirty []bool
+
+	// Scratch reused across settle calls.
+	epoch     int64
+	linkMark  []int64
+	remCap    []float64
+	nUnfixed  []int32
+	linkVer   []uint32 // bumped whenever a link's remCap/nUnfixed changes
+	shares    shareHeap
+	compLinks []LinkID
+	compFlows []*Flow
+	capped    []*Flow
+	done      []*Flow
 
 	// OnFinish is invoked as each flow completes.
 	OnFinish func(f *Flow, now float64)
+
+	// DebugSettles / DebugSettleFlows count non-trivial settle passes and
+	// the flows they re-rated (profiling aid; no functional effect).
+	DebugSettles     uint64
+	DebugSettleFlows uint64
 }
 
 // NewSimulator creates a simulator over the network.
-func NewSimulator(net *Network) *Simulator { return &Simulator{net: net} }
+func NewSimulator(net *Network) *Simulator {
+	s := &Simulator{net: net}
+	net.onSet = append(net.onSet, func(l LinkID) {
+		s.ensureLink(int(l))
+		s.markDirty(l)
+	})
+	return s
+}
 
 // Now returns current simulation time (seconds).
 func (s *Simulator) Now() float64 { return s.now }
 
+func (s *Simulator) ensureLink(l int) {
+	for len(s.linkFlows) <= l {
+		s.linkFlows = append(s.linkFlows, nil)
+		s.linkDirty = append(s.linkDirty, false)
+		s.linkMark = append(s.linkMark, 0)
+		s.remCap = append(s.remCap, 0)
+		s.nUnfixed = append(s.nUnfixed, 0)
+		s.linkVer = append(s.linkVer, 0)
+	}
+}
+
+func (s *Simulator) markDirty(l LinkID) {
+	if !s.linkDirty[int(l)] {
+		s.linkDirty[int(l)] = true
+		s.dirty = append(s.dirty, l)
+	}
+}
+
 // Add registers a flow; its Start may be now or in the future.
 func (s *Simulator) Add(f *Flow) {
+	f.sim = s
 	f.remaining = f.Size
 	s.flows = append(s.flows, f)
 	if f.Start > s.now {
@@ -129,12 +332,74 @@ func (s *Simulator) Add(f *Flow) {
 	}
 }
 
+func dedupInto(dst, path []LinkID) []LinkID {
+	for _, l := range path {
+		dup := false
+		for _, d := range dst {
+			if d == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, l)
+		}
+	}
+	return dst
+}
+
 func (s *Simulator) activate(f *Flow) {
 	if f.active || f.Finished {
 		return
 	}
 	f.active = true
+	s.aseqCtr++
+	f.aseq = s.aseqCtr
+	f.upd = s.now
+	f.activeIdx = len(s.active)
 	s.active = append(s.active, f)
+	f.uniq = dedupInto(f.uniq[:0], f.Path)
+	if len(f.uniq) == 0 {
+		// Pathless: uncapped flows complete at an effectively infinite
+		// rate; capped ones at exactly their cap. These form singleton
+		// components, so no waterfill is needed (the oracle's
+		// progressive filling assigns the identical values).
+		if f.RateCap > 0 {
+			f.rate = f.RateCap
+		} else {
+			f.rate = math.Inf(1)
+		}
+		f.ver++
+		s.pushFin(f)
+		return
+	}
+	for _, l := range f.uniq {
+		s.ensureLink(int(l))
+		s.linkFlows[int(l)] = append(s.linkFlows[int(l)], f) // max aseq: append keeps order
+		s.markDirty(l)
+	}
+}
+
+// removeFromLink deletes f from link l's list, preserving order. The list
+// is aseq-sorted, so binary search finds the position.
+func (s *Simulator) removeFromLink(l LinkID, f *Flow) {
+	lst := s.linkFlows[int(l)]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].aseq >= f.aseq })
+	if i < len(lst) && lst[i] == f {
+		copy(lst[i:], lst[i+1:])
+		lst[len(lst)-1] = nil
+		s.linkFlows[int(l)] = lst[:len(lst)-1]
+	}
+}
+
+// insertIntoLink adds f to link l's list at its aseq position.
+func (s *Simulator) insertIntoLink(l LinkID, f *Flow) {
+	lst := s.linkFlows[int(l)]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].aseq >= f.aseq })
+	lst = append(lst, nil)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = f
+	s.linkFlows[int(l)] = lst
 }
 
 // At schedules fn at absolute time t (clamped to now).
@@ -143,27 +408,398 @@ func (s *Simulator) At(t float64, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.actions, action{at: t, seq: s.seq, fn: fn})
+	s.actions.push(action{at: t, seq: s.seq, fn: fn})
 }
 
 // Reroute atomically changes a flow's path (the flowlet/failover move).
 func (s *Simulator) Reroute(f *Flow, path []LinkID) {
 	f.Path = append([]LinkID(nil), path...)
+	if !f.active {
+		return // not yet started (or finished): activation reads Path
+	}
+	for _, l := range f.uniq {
+		s.removeFromLink(l, f)
+		s.markDirty(l)
+	}
+	f.uniq = dedupInto(f.uniq[:0], f.Path)
+	if len(f.uniq) == 0 {
+		s.drain(f)
+		if f.RateCap > 0 {
+			f.rate = f.RateCap
+		} else {
+			f.rate = math.Inf(1)
+		}
+		f.ver++
+		s.pushFin(f)
+		return
+	}
+	for _, l := range f.uniq {
+		s.ensureLink(int(l))
+		s.insertIntoLink(l, f)
+		s.markDirty(l)
+	}
 }
 
-// activeFlows returns flows currently transferring. The slice is owned by
-// the simulator; callers must not retain it across events.
-func (s *Simulator) activeFlows() []*Flow { return s.active }
+// drain charges a flow's lazily-accounted progress up to the current time.
+// It must run before the flow's rate changes.
+func (s *Simulator) drain(f *Flow) {
+	if dt := s.now - f.upd; dt > 0 && f.rate > 0 {
+		if math.IsInf(f.rate, 1) {
+			f.remaining = 0
+		} else {
+			f.remaining -= f.rate * dt
+			if f.remaining < 1e-6 {
+				f.remaining = 0
+			}
+		}
+	}
+	f.upd = s.now
+}
 
-// allocate computes max-min fair rates by progressive filling. The loop is
-// O((links + capped flows) · links) with incremental per-link bookkeeping,
-// so thousand-flow shuffles stay tractable.
+// pushFin projects the flow's completion under its current rate. Residuals
+// draining in under a picosecond complete now: their finish time is below
+// float64 time resolution and waiting on them would stall the clock.
+func (s *Simulator) pushFin(f *Flow) {
+	if f.rate <= 0 && !math.IsInf(f.rate, 1) {
+		return // stalled: a future re-rate will re-project
+	}
+	at := s.now
+	if !math.IsInf(f.rate, 1) {
+		if d := f.remaining / f.rate; d >= 1e-12 {
+			at = s.now + d
+		}
+	}
+	s.fins.push(finEntry{at: at, aseq: f.aseq, ver: f.ver, f: f})
+}
+
+// settle re-waterfills the connected component(s) of the flow↔link graph
+// reachable from the dirty links. Per-component progressive filling yields
+// the same fix sequence — and therefore bit-identical floating-point
+// rates — as the full pass in allocate(); see the oracle test.
+func (s *Simulator) settle() {
+	if len(s.dirty) == 0 {
+		return
+	}
+	s.epoch++
+	links := s.compLinks[:0]
+	flows := s.compFlows[:0]
+	for _, l := range s.dirty {
+		s.linkDirty[int(l)] = false
+		if s.linkMark[int(l)] != s.epoch {
+			s.linkMark[int(l)] = s.epoch
+			links = append(links, l)
+		}
+	}
+	s.dirty = s.dirty[:0]
+	// BFS over the bipartite sharing graph: link → flows on it → their links.
+	for qi := 0; qi < len(links); qi++ {
+		for _, f := range s.linkFlows[int(links[qi])] {
+			if f.mark == s.epoch {
+				continue
+			}
+			f.mark = s.epoch
+			flows = append(flows, f)
+			for _, l2 := range f.uniq {
+				if s.linkMark[int(l2)] != s.epoch {
+					s.linkMark[int(l2)] = s.epoch
+					links = append(links, l2)
+				}
+			}
+		}
+	}
+	// Ascending link order reproduces the oracle's lowest-index tie-break.
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+
+	capped := s.capped[:0]
+	unfixed := 0
+	for _, f := range flows {
+		s.drain(f)
+		f.rate = 0
+		f.fixed = false
+		f.ver++ // stale finish projections no longer count
+		if f.RateCap > 0 {
+			capped = append(capped, f)
+		}
+		unfixed++
+	}
+	for _, l := range links {
+		s.remCap[int(l)] = s.net.capacity[int(l)]
+		s.nUnfixed[int(l)] = int32(len(s.linkFlows[int(l)]))
+	}
+	sortCapped(capped)
+	s.DebugSettles++
+	s.DebugSettleFlows += uint64(len(flows))
+	s.waterfill(links, capped, unfixed)
+	s.compLinks = links[:0]
+	s.compFlows = flows[:0]
+	s.capped = capped[:0]
+	s.maybeCompactFins()
+}
+
+// sortCapped orders capped flows by (RateCap, ID, aseq) — a total order,
+// so the (unstable) sort is deterministic. The oracle uses the same
+// comparator.
+func sortCapped(capped []*Flow) {
+	sort.Slice(capped, func(i, j int) bool {
+		if capped[i].RateCap != capped[j].RateCap {
+			return capped[i].RateCap < capped[j].RateCap
+		}
+		if capped[i].ID != capped[j].ID {
+			return capped[i].ID < capped[j].ID
+		}
+		return capped[i].aseq < capped[j].aseq
+	})
+}
+
+// scanThreshold is the component size (links) above which waterfill
+// switches from the linear min-scan to the lazy min-heap. Both produce
+// the identical fix sequence, so the crossover only trades constants:
+// the scan is cache-friendly and allocation-free for the small components
+// typical of fidelity-scale runs; the heap wins once components span
+// thousands of links (k>=16 fat-trees under full shuffle load).
+const scanThreshold = 512
+
+// waterfill runs progressive filling restricted to the given links. remCap
+// and nUnfixed must already be initialized for every link in links.
+func (s *Simulator) waterfill(links []LinkID, capped []*Flow, unfixed int) {
+	if len(links) <= scanThreshold {
+		s.waterfillScan(links, capped, unfixed)
+		return
+	}
+	s.waterfillHeap(links, capped, unfixed)
+}
+
+// waterfillScan finds each bottleneck with a strictly-less-than scan over
+// the component links in ascending order (lowest index wins ties).
+func (s *Simulator) waterfillScan(links []LinkID, capped []*Flow, unfixed int) {
+	capIdx := 0
+	fix := func(f *Flow, rate float64) {
+		if f.fixed {
+			return
+		}
+		f.fixed = true
+		f.rate = rate
+		unfixed--
+		for _, l := range f.uniq {
+			s.remCap[int(l)] -= rate
+			if s.remCap[int(l)] < 0 {
+				s.remCap[int(l)] = 0
+			}
+			s.nUnfixed[int(l)]--
+		}
+		s.pushFin(f)
+	}
+	for unfixed > 0 {
+		minShare := math.Inf(1)
+		minLink := -1
+		for _, l := range links {
+			if s.nUnfixed[int(l)] == 0 {
+				continue
+			}
+			share := s.remCap[int(l)] / float64(s.nUnfixed[int(l)])
+			if share < minShare {
+				minShare, minLink = share, int(l)
+			}
+		}
+		for capIdx < len(capped) && capped[capIdx].fixed {
+			capIdx++
+		}
+		if capIdx < len(capped) && capped[capIdx].RateCap < minShare {
+			fix(capped[capIdx], capped[capIdx].RateCap)
+			continue
+		}
+		if minLink < 0 {
+			// Remaining flows are unconstrained by links: give them caps.
+			for _, f := range capped {
+				if !f.fixed {
+					fix(f, f.RateCap)
+				}
+			}
+			break
+		}
+		for _, f := range s.linkFlows[minLink] {
+			fix(f, minShare)
+		}
+	}
+}
+
+// waterfillHeap finds the next bottleneck with a lazy min-heap keyed by
+// (share, linkID) instead of rescanning every component link per
+// iteration. Each heap entry snapshots the link's version; fixing a flow
+// bumps the version of every link it crosses and pushes a fresh entry, so
+// stale snapshots are discarded on pop. The (share, linkID) order
+// reproduces exactly the ascending-scan's strictly-less-than selection —
+// lowest index among equal shares — and shares are the same
+// remCap/nUnfixed quotients the scan would compute, so the fix sequence
+// (and therefore every floating-point rate) is bit-identical to both
+// waterfillScan and the allocate() oracle.
+func (s *Simulator) waterfillHeap(links []LinkID, capped []*Flow, unfixed int) {
+	h := s.shares[:0]
+	for _, l := range links {
+		if s.nUnfixed[int(l)] == 0 {
+			continue
+		}
+		h = append(h, shareEntry{
+			share: s.remCap[int(l)] / float64(s.nUnfixed[int(l)]),
+			link:  int32(l),
+			ver:   s.linkVer[int(l)],
+		})
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	capIdx := 0
+	fix := func(f *Flow, rate float64) {
+		if f.fixed {
+			return
+		}
+		f.fixed = true
+		f.rate = rate
+		unfixed--
+		for _, l := range f.uniq {
+			s.remCap[int(l)] -= rate
+			if s.remCap[int(l)] < 0 {
+				s.remCap[int(l)] = 0
+			}
+			s.nUnfixed[int(l)]--
+			s.linkVer[int(l)]++
+			if s.nUnfixed[int(l)] > 0 {
+				h.push(shareEntry{
+					share: s.remCap[int(l)] / float64(s.nUnfixed[int(l)]),
+					link:  int32(l),
+					ver:   s.linkVer[int(l)],
+				})
+			}
+		}
+		s.pushFin(f)
+	}
+	for unfixed > 0 {
+		minShare := math.Inf(1)
+		minLink := -1
+		for len(h) > 0 {
+			e := h[0]
+			if e.ver != s.linkVer[e.link] || s.nUnfixed[e.link] == 0 {
+				h.pop()
+				continue
+			}
+			minShare, minLink = e.share, int(e.link)
+			break
+		}
+		for capIdx < len(capped) && capped[capIdx].fixed {
+			capIdx++
+		}
+		if capIdx < len(capped) && capped[capIdx].RateCap < minShare {
+			fix(capped[capIdx], capped[capIdx].RateCap)
+			continue
+		}
+		if minLink < 0 {
+			// Remaining flows are unconstrained by links: give them caps.
+			for _, f := range capped {
+				if !f.fixed {
+					fix(f, f.RateCap)
+				}
+			}
+			break
+		}
+		for _, f := range s.linkFlows[minLink] {
+			fix(f, minShare)
+		}
+	}
+	s.shares = h[:0]
+}
+
+// shareEntry is a snapshot of a link's fair share during waterfill; ver
+// invalidates it once the link's remCap or nUnfixed changes.
+type shareEntry struct {
+	share float64
+	link  int32
+	ver   uint32
+}
+
+// shareHeap is a binary min-heap over (share, link): the same order the
+// ascending scan's strictly-less-than minimum search induces.
+type shareHeap []shareEntry
+
+func (h shareHeap) less(i, j int) bool {
+	if h[i].share != h[j].share {
+		return h[i].share < h[j].share
+	}
+	return h[i].link < h[j].link
+}
+
+func (h *shareHeap) push(e shareEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(*h).less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *shareHeap) pop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+}
+
+func (h shareHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// maybeCompactFins rebuilds the finish heap when stale (version-mismatched)
+// entries dominate, bounding memory under heavy re-rating.
+func (s *Simulator) maybeCompactFins() {
+	if len(s.fins) <= 3*len(s.active)+64 {
+		return
+	}
+	kept := s.fins[:0]
+	for _, e := range s.fins {
+		if e.f.active && !e.f.Finished && e.ver == e.f.ver {
+			kept = append(kept, e)
+		}
+	}
+	s.fins = kept
+	for i := len(s.fins)/2 - 1; i >= 0; i-- {
+		s.fins.down(i)
+	}
+}
+
+// allocate recomputes every active flow's rate from scratch with the
+// classic O(flows×links) progressive-filling pass. It is retained as the
+// brute-force oracle for the incremental settle() path — the two must
+// produce bit-identical rates — and is used only by tests and RateOf
+// verification; the hot path never calls it.
 func (s *Simulator) allocate() {
-	active := s.activeFlows()
-	for _, f := range active {
+	act := make([]*Flow, len(s.active))
+	copy(act, s.active)
+	sort.Slice(act, func(i, j int) bool { return act[i].aseq < act[j].aseq })
+	for _, f := range act {
 		f.rate = 0
 	}
-	if len(active) == 0 {
+	if len(act) == 0 {
 		return
 	}
 	nLinks := len(s.net.capacity)
@@ -171,29 +807,13 @@ func (s *Simulator) allocate() {
 	copy(remCap, s.net.capacity)
 	nUnfixed := make([]int, nLinks)
 	flowsOn := make([][]*Flow, nLinks)
-	fixed := make(map[*Flow]bool, len(active))
-	// uniqueLinks caches each flow's deduplicated path.
-	uniqueLinks := make(map[*Flow][]LinkID, len(active))
+	fixed := make(map[*Flow]bool, len(act))
 
 	var capped []*Flow
 	unfixedTotal := 0
-	for _, f := range active {
-		links := f.Path
-		if len(links) > 1 {
-			seen := make(map[LinkID]bool, len(links))
-			dedup := make([]LinkID, 0, len(links))
-			for _, l := range links {
-				if !seen[l] {
-					seen[l] = true
-					dedup = append(dedup, l)
-				}
-			}
-			links = dedup
-		}
-		uniqueLinks[f] = links
+	for _, f := range act {
+		links := f.uniq
 		if len(links) == 0 && f.RateCap <= 0 {
-			// Pathless, uncapped: completes at an effectively infinite
-			// rate.
 			f.rate = math.Inf(1)
 			continue
 		}
@@ -206,12 +826,7 @@ func (s *Simulator) allocate() {
 		}
 		unfixedTotal++
 	}
-	sort.Slice(capped, func(i, j int) bool {
-		if capped[i].RateCap != capped[j].RateCap {
-			return capped[i].RateCap < capped[j].RateCap
-		}
-		return capped[i].ID < capped[j].ID
-	})
+	sortCapped(capped)
 	capIdx := 0
 
 	fix := func(f *Flow, rate float64) {
@@ -221,7 +836,7 @@ func (s *Simulator) allocate() {
 		fixed[f] = true
 		f.rate = rate
 		unfixedTotal--
-		for _, l := range uniqueLinks[f] {
+		for _, l := range f.uniq {
 			remCap[int(l)] -= rate
 			if remCap[int(l)] < 0 {
 				remCap[int(l)] = 0
@@ -250,8 +865,6 @@ func (s *Simulator) allocate() {
 			continue
 		}
 		if minLink < 0 {
-			// Remaining flows (capped, pathless) are unconstrained by
-			// links: give them their caps.
 			for _, f := range capped {
 				if !fixed[f] {
 					fix(f, f.RateCap)
@@ -265,90 +878,86 @@ func (s *Simulator) allocate() {
 	}
 }
 
-// advance moves time forward by dt, draining active flows.
-func (s *Simulator) advance(dt float64) {
-	for _, f := range s.activeFlows() {
-		if math.IsInf(f.rate, 1) {
-			f.remaining = 0
+// peekNext returns the earliest pending event (completion or action),
+// discarding stale finish projections from the heap top.
+func (s *Simulator) peekNext() (float64, bool) {
+	for len(s.fins) > 0 {
+		e := s.fins[0]
+		if !e.f.active || e.f.Finished || e.ver != e.f.ver {
+			s.fins.pop()
 			continue
 		}
-		f.remaining -= f.rate * dt
-		if f.remaining < 1e-6 {
-			f.remaining = 0
-		}
+		break
 	}
-	s.now += dt
+	t := math.Inf(1)
+	ok := false
+	if len(s.fins) > 0 {
+		t, ok = s.fins[0].at, true
+	}
+	if len(s.actions) > 0 && s.actions[0].at < t {
+		t, ok = s.actions[0].at, true
+	}
+	return t, ok
 }
 
-// finishDone marks and reports completed flows. Flows at infinite rate
-// (pathless, uncapped) complete instantly, and flows whose residual would
-// drain in under a picosecond are treated as done — their completion time
-// is below the representable resolution of float64 time, and waiting on
-// them would stall the clock.
-func (s *Simulator) finishDone() {
-	kept := s.active[:0]
-	var done []*Flow
-	for _, f := range s.active {
-		if math.IsInf(f.rate, 1) || (f.rate > 0 && f.remaining/f.rate < 1e-12) {
-			f.remaining = 0
+// finishDue completes every flow whose projected finish is at or before
+// now, then reports them in (time, activation) order.
+func (s *Simulator) finishDue() {
+	nDone := len(s.done)
+	for len(s.fins) > 0 && s.fins[0].at <= s.now {
+		e := s.fins.pop()
+		f := e.f
+		if !f.active || f.Finished || e.ver != f.ver {
+			continue
 		}
-		if f.remaining <= 0 {
-			f.Finished = true
-			f.active = false
-			f.End = s.now
-			done = append(done, f)
-		} else {
-			kept = append(kept, f)
+		f.remaining = 0
+		f.upd = s.now
+		f.Finished = true
+		f.active = false
+		f.End = s.now
+		// Swap-remove from the active set.
+		last := len(s.active) - 1
+		s.active[f.activeIdx] = s.active[last]
+		s.active[f.activeIdx].activeIdx = f.activeIdx
+		s.active[last] = nil
+		s.active = s.active[:last]
+		for _, l := range f.uniq {
+			s.removeFromLink(l, f)
+			s.markDirty(l)
 		}
+		s.done = append(s.done, f)
 	}
-	s.active = kept
 	if s.OnFinish != nil {
-		// Callbacks run after the list is consistent: they may Add flows.
-		for _, f := range done {
+		// Callbacks run after the lists are consistent: they may Add flows.
+		for _, f := range s.done[nDone:] {
 			s.OnFinish(f, s.now)
 		}
 	}
+	s.done = s.done[:nDone]
 }
 
-// step executes until the next event; returns false when nothing remains.
-func (s *Simulator) step(deadline float64) bool {
-	s.allocate()
-	s.finishDone()
-	s.allocate()
-
-	// Next completion time.
-	nextDone := math.Inf(1)
-	for _, f := range s.activeFlows() {
-		if f.rate > 0 {
-			t := s.now + f.remaining/f.rate
-			if t < nextDone {
-				nextDone = t
-			}
-		} else if math.IsInf(f.rate, 1) {
-			nextDone = s.now
-		}
-	}
-	nextAction := math.Inf(1)
-	if len(s.actions) > 0 {
-		nextAction = s.actions[0].at
-	}
-	next := math.Min(nextDone, nextAction)
-	if math.IsInf(next, 1) || next > deadline {
-		if deadline > s.now && !math.IsInf(deadline, 1) {
-			s.advance(deadline - s.now)
-			s.finishDone()
-		}
-		return false
-	}
-	if next > s.now {
-		s.advance(next - s.now)
-	}
-	// Run all actions due now.
+// runActionsDue executes scheduled actions due at the current instant.
+func (s *Simulator) runActionsDue() {
 	for len(s.actions) > 0 && s.actions[0].at <= s.now+1e-12 {
-		a := heap.Pop(&s.actions).(action)
+		a := s.actions.pop()
 		a.fn()
 	}
-	s.finishDone()
+}
+
+// step advances to the next event at or before deadline; returns false
+// when nothing remains within it.
+func (s *Simulator) step(deadline float64) bool {
+	s.settle()
+	nt, ok := s.peekNext()
+	if !ok || nt > deadline {
+		return false
+	}
+	if nt > s.now {
+		s.now = nt
+	}
+	s.finishDue()
+	s.runActionsDue()
+	s.settle()
 	return true
 }
 
@@ -363,7 +972,7 @@ func (s *Simulator) Run() {
 			spins++
 			if spins > 1_000_000 {
 				var diag string
-				for _, f := range s.activeFlows() {
+				for _, f := range s.active {
 					diag += fmt.Sprintf(" flow%d rate=%v rem=%v", f.ID, f.rate, f.remaining)
 					if len(diag) > 200 {
 						break
@@ -381,8 +990,31 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(t float64) {
 	for s.step(t) {
 	}
+	s.settle()
 	if s.now < t {
 		s.now = t
+	}
+}
+
+// NextEventTime reports the next pending completion or action, if any.
+// Hybrid mode uses it to schedule the engine event that re-enters the
+// fluid layer.
+func (s *Simulator) NextEventTime() (float64, bool) {
+	s.settle()
+	return s.peekNext()
+}
+
+// ActiveCount reports the number of started, unfinished flows.
+func (s *Simulator) ActiveCount() int { return len(s.active) }
+
+// VisitFlowsOn calls fn for each active flow traversing link l, in
+// activation order.
+func (s *Simulator) VisitFlowsOn(l LinkID, fn func(*Flow)) {
+	if int(l) >= len(s.linkFlows) {
+		return
+	}
+	for _, f := range s.linkFlows[int(l)] {
+		fn(f)
 	}
 }
 
@@ -398,7 +1030,7 @@ func (s *Simulator) AllDone() bool {
 
 // RateOf returns a flow's instantaneous rate after the latest allocation.
 func (s *Simulator) RateOf(f *Flow) float64 {
-	s.allocate()
+	s.settle()
 	return f.rate
 }
 

@@ -1,0 +1,229 @@
+package flowsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestIncrementalMatchesOracle drives randomized event sequences (adds,
+// reroutes, capacity flaps, time advances) and after every event compares
+// the incremental component-restricted waterfill against the brute-force
+// full progressive-filling pass. Rates must be BIT-identical: max-min
+// allocation decomposes over connected components of the flow↔link
+// sharing graph, and the incremental path replays the exact per-component
+// fix sequence of the full pass.
+func TestIncrementalMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNetwork()
+		nLinks := 12
+		baseCap := make([]float64, nLinks)
+		for i := 0; i < nLinks; i++ {
+			baseCap[i] = float64(rng.Intn(9)+1) * 25
+			n.AddLink(baseCap[i])
+		}
+		s := NewSimulator(n)
+		var live []*Flow
+		nextID := 0
+
+		randPath := func() []LinkID {
+			hops := rng.Intn(4) + 1
+			p := make([]LinkID, hops)
+			for i := range p {
+				p[i] = LinkID(rng.Intn(nLinks))
+			}
+			if rng.Intn(5) == 0 { // duplicate a link on purpose
+				p = append(p, p[0])
+			}
+			return p
+		}
+
+		check := func(step int) {
+			s.settle()
+			type snap struct {
+				f *Flow
+				r uint64
+			}
+			var snaps []snap
+			for _, f := range s.active {
+				snaps = append(snaps, snap{f, math.Float64bits(f.rate)})
+			}
+			s.allocate() // oracle: full recompute from scratch
+			for _, sn := range snaps {
+				if got := math.Float64bits(sn.f.rate); got != sn.r {
+					t.Fatalf("seed %d step %d flow %d: incremental rate %x (%v) != oracle %x (%v)",
+						seed, step, sn.f.ID, sn.r, math.Float64frombits(sn.r), got, sn.f.rate)
+				}
+			}
+		}
+
+		for step := 0; step < 250; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // add a flow
+				f := &Flow{
+					ID:   nextID,
+					Path: randPath(),
+					Size: float64(rng.Intn(5000) + 500),
+				}
+				nextID++
+				if rng.Intn(5) == 0 {
+					f.RateCap = float64(rng.Intn(40) + 1)
+				}
+				if rng.Intn(12) == 0 {
+					f.Path = nil // pathless
+				}
+				if rng.Intn(6) == 0 {
+					f.Start = s.Now() + rng.Float64()*0.5
+				}
+				live = append(live, f)
+				s.Add(f)
+			case op < 6: // reroute a live flow
+				if len(live) == 0 {
+					continue
+				}
+				f := live[rng.Intn(len(live))]
+				if f.Finished {
+					continue
+				}
+				s.Reroute(f, randPath())
+			case op < 8: // capacity flap
+				l := LinkID(rng.Intn(nLinks))
+				if rng.Intn(3) == 0 {
+					n.SetCapacity(l, 0)
+				} else {
+					n.SetCapacity(l, baseCap[int(l)]*(0.5+rng.Float64()))
+				}
+			default: // advance time
+				s.RunUntil(s.Now() + rng.Float64()*2)
+			}
+			check(step)
+		}
+		s.Run()
+	}
+}
+
+// TestActionHeapAllocFree guards the de-boxed action heap: scheduling and
+// draining actions through a pre-grown heap must not allocate (the old
+// container/heap implementation boxed one allocation per Push/Pop).
+func TestActionHeapAllocFree(t *testing.T) {
+	s := NewSimulator(NewNetwork())
+	for i := 0; i < 1024; i++ {
+		s.At(float64(i)*1e-3, func() {})
+	}
+	s.RunUntil(10)
+	fn := func() {}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.At(s.Now(), fn)
+		s.RunUntil(s.Now())
+	})
+	if allocs != 0 {
+		t.Fatalf("action schedule+drain allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestRerouteOntoSaturatedPath moves a flow onto a link already running at
+// capacity: both flows must drop to the fair share at the reroute instant.
+func TestRerouteOntoSaturatedPath(t *testing.T) {
+	n := NewNetwork()
+	l1 := n.AddLink(100)
+	l2 := n.AddLink(50)
+	s := NewSimulator(n)
+	incumbent := &Flow{ID: 1, Path: []LinkID{l1}, Size: 1e4}
+	mover := &Flow{ID: 2, Path: []LinkID{l2}, Size: 1e4}
+	s.Add(incumbent)
+	s.Add(mover)
+	if r := s.RateOf(incumbent); !approx(r, 100, 1e-9) {
+		t.Fatalf("incumbent pre-reroute rate = %v", r)
+	}
+	s.At(1, func() { s.Reroute(mover, []LinkID{l1}) })
+	s.RunUntil(1)
+	if r := s.RateOf(incumbent); !approx(r, 50, 1e-9) {
+		t.Fatalf("incumbent post-reroute rate = %v", r)
+	}
+	if r := s.RateOf(mover); !approx(r, 50, 1e-9) {
+		t.Fatalf("mover post-reroute rate = %v", r)
+	}
+	s.Run()
+	// incumbent: 100 bits/s·1s + 50 thereafter → (1e4-100)/50 + 1 = 199 s.
+	if !approx(incumbent.End, 199, 1e-6) {
+		t.Fatalf("incumbent end = %v", incumbent.End)
+	}
+}
+
+// TestSetCapacityZeroStallsAndHeals fails a link mid-flight (capacity 0),
+// verifies the flow stalls at rate 0 making no progress, then heals the
+// link and checks the completion time accounts for the outage exactly.
+func TestSetCapacityZeroStallsAndHeals(t *testing.T) {
+	n := NewNetwork()
+	l := n.AddLink(100)
+	s := NewSimulator(n)
+	f := &Flow{ID: 1, Path: []LinkID{l}, Size: 1000}
+	s.Add(f)
+	s.At(3, func() { n.SetCapacity(l, 0) })
+	s.RunUntil(5)
+	if r := s.RateOf(f); r != 0 {
+		t.Fatalf("rate during outage = %v, want 0", r)
+	}
+	if rem := f.Remaining(); !approx(rem, 700, 1e-6) {
+		t.Fatalf("remaining during outage = %v, want 700", rem)
+	}
+	s.At(6, func() { n.SetCapacity(l, 100) })
+	s.Run()
+	// 300 bits in [0,3), stalled [3,6), 700 bits at 100 bps → t=13.
+	if !f.Finished || !approx(f.End, 13, 1e-6) {
+		t.Fatalf("end = %v finished=%v", f.End, f.Finished)
+	}
+}
+
+// TestFinishAtRecomputeInstant schedules a capacity change at the exact
+// instant a flow completes: the completion must win (End at that instant,
+// reported once) and the recompute must apply to the survivors only.
+func TestFinishAtRecomputeInstant(t *testing.T) {
+	n := NewNetwork()
+	l := n.AddLink(100)
+	s := NewSimulator(n)
+	done := 0
+	s.OnFinish = func(f *Flow, now float64) { done++ }
+	short := &Flow{ID: 1, Path: []LinkID{l}, Size: 500}
+	long := &Flow{ID: 2, Path: []LinkID{l}, Size: 5000}
+	s.Add(short)
+	s.Add(long)
+	// Both at 50 bps; short finishes at exactly t=10. Halve the link
+	// capacity at the same instant.
+	s.At(10, func() { n.SetCapacity(l, 50) })
+	s.Run()
+	if !approx(short.End, 10, 1e-9) || done != 2 {
+		t.Fatalf("short end = %v, done = %d", short.End, done)
+	}
+	// long: 500 bits by t=10, then alone on a 50 bps link → 4500/50 = 90 s
+	// more → t=100.
+	if !approx(long.End, 100, 1e-6) {
+		t.Fatalf("long end = %v", long.End)
+	}
+}
+
+// TestRerouteAtCompletionInstant reroutes a flow at the exact instant it
+// completes: the completion must not be lost or doubled.
+func TestRerouteAtCompletionInstant(t *testing.T) {
+	n := NewNetwork()
+	l1 := n.AddLink(100)
+	l2 := n.AddLink(100)
+	s := NewSimulator(n)
+	f := &Flow{ID: 1, Path: []LinkID{l1}, Size: 1000}
+	s.Add(f)
+	done := 0
+	s.OnFinish = func(ff *Flow, now float64) { done++ }
+	s.At(10, func() {
+		if !f.Finished {
+			s.Reroute(f, []LinkID{l2})
+		}
+	})
+	s.Run()
+	if done != 1 || !f.Finished {
+		t.Fatalf("done = %d finished = %v", done, f.Finished)
+	}
+	if !approx(f.End, 10, 1e-6) {
+		t.Fatalf("end = %v", f.End)
+	}
+}

@@ -120,6 +120,9 @@ type Stats struct {
 	McastSent     uint64 // multicast frames transmitted
 	McastReceived uint64 // multicast frames delivered to the application
 	GroupEventsIn uint64 // group-membership events processed
+
+	BulkResolves  uint64 // fluid-send route reservations (hybrid mode)
+	BulkTransfers uint64 // packet-level bulk transfers opened
 }
 
 // Errors.
@@ -199,6 +202,12 @@ type Agent struct {
 	suspect      map[HopRef]sim.Time     // blackhole-suspected hops → expiry
 	mcastTrees   map[uint32][]byte       // group -> cached encoded tree
 
+	// Bulk-transfer state (lazily allocated; see bulk.go).
+	pendingRoute map[packet.MAC][]pendingResolve
+	bulkTx       map[uint32]*bulkTx
+	bulkRx       map[bulkRxKey]*bulkRx
+	bulkSeq      uint32
+
 	// OnData delivers application payloads (src, innerType, payload).
 	OnData func(src packet.MAC, innerType uint16, payload []byte)
 	// OnControl, when set, sees every control message before the agent's
@@ -213,6 +222,9 @@ type Agent struct {
 	OnPatch func(p *topo.Patch)
 	// OnCongestionNotice fires when an ECN echo about our traffic arrives.
 	OnCongestionNotice func(dst packet.MAC)
+	// OnBulkDone fires at the receiver when a packet-level bulk transfer
+	// completes (last data frame arrived).
+	OnBulkDone func(src packet.MAC, id uint32, at sim.Time)
 	// Chooser selects among cached paths per flow; defaults to sticky
 	// per-flow binding. Replace with NewFlowletChooser for flowlet TE.
 	Chooser RouteChooser
@@ -518,6 +530,10 @@ func (a *Agent) deliver(f *packet.Frame) {
 		a.stats.Received++
 		if f.Dst[0] == 0x33 && f.Dst[1] == 0x33 {
 			a.stats.McastReceived++
+		}
+		if f.InnerType == EtherTypeBulk {
+			a.handleBulk(f.Src, f.Payload)
+			return
 		}
 		if a.OnData != nil {
 			a.OnData(f.Src, f.InnerType, f.Payload)

@@ -254,6 +254,7 @@ func (a *Agent) sendPathRequest(dst packet.MAC, attempt int) {
 		a.stats.NoRouteDrops += uint64(len(a.pending[dst]))
 		delete(a.pending, dst)
 		a.stats.QueriesAbandoned++
+		a.flushPendingRoutes(dst, false)
 		return
 	}
 	if attempt > 0 && attempt%budget == 0 && a.requestCtrl[dst] == a.ctrl {
@@ -320,16 +321,20 @@ func (a *Agent) handlePathResponse(blob *packet.Blob) {
 		}
 	}
 	if len(entry.Paths) == 0 {
+		// Nothing usable arrived and the query is closed: reservations
+		// would otherwise wait forever (a later Send re-opens the query).
+		a.flushPendingRoutes(dst, false)
 		return
 	}
 	a.table.Install(dst, entry)
 	a.eng.Tracer().Ctrl(int64(a.eng.Now()), trace.CtrlRouteInstall, a.mac, dst, blob.Seq)
-	// Flush pending packets.
+	// Flush pending packets and bulk route reservations.
 	queued := a.pending[dst]
 	delete(a.pending, dst)
 	for _, p := range queued {
 		_ = a.Send(dst, p.innerType, p.payload, p.flow)
 	}
+	a.flushPendingRoutes(dst, true)
 }
 
 // RoutesReady reports whether the PathTable can serve dst right now.

@@ -100,6 +100,10 @@ type Link struct {
 	cross bool
 	// flapGen invalidates previously scheduled flap toggles when bumped.
 	flapGen uint64
+	// watch, when set, observes transitions of the overall link state
+	// (both-ends Up). The hybrid fluid layer uses it to zero/restore the
+	// corresponding fluid link capacities on chaos fail/heal events.
+	watch func(up bool)
 }
 
 // NewLink wires aNode's aPort to bNode's bPort on a single engine. The link
@@ -196,12 +200,22 @@ func (l *Link) setEndUp(end *linkEnd, up bool) {
 	if end.up == up {
 		return
 	}
+	wasUp := l.Up()
 	end.up = up
 	if mon, ok := end.node.(PortMonitor); ok {
 		port := end.port
 		end.eng.After(0, func() { mon.PortStateChanged(port, up) })
 	}
+	if nowUp := l.Up(); nowUp != wasUp && l.watch != nil {
+		l.watch(nowUp)
+	}
 }
+
+// Watch installs an observer for overall link-state transitions (the
+// both-ends Up value). The callback runs synchronously inside the state
+// flip, at the flipping end's virtual time; at most one watcher is
+// supported. Pass nil to clear.
+func (l *Link) Watch(fn func(up bool)) { l.watch = fn }
 
 // Fail is shorthand for SetUp(false).
 func (l *Link) Fail() { l.SetUp(false) }

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dumbnet/internal/host"
+	"dumbnet/internal/hybrid"
+	"dumbnet/internal/packet"
+	"dumbnet/internal/sim"
+)
+
+// This file runs job DAGs on a deployed DumbNet fabric through the hybrid
+// fluid layer, instead of on a bare flowsim network with caller-supplied
+// routes (RunJob). Routing is the real thing: every transfer reserves its
+// source route through the host's path table and, on a miss, a packet-
+// level controller round trip — so a job's completion time includes the
+// control-plane behavior the paper is about, while the bulk bytes
+// themselves advance fluidly. This is the engine that executes HiBench
+// DAGs on k=32 fat-trees (8192 hosts) in one core.
+
+// Cluster places job workers on fabric hosts: worker i runs on the host
+// behind Agents[i] / MACs[i]. Build one with core APIs (Network.Agent,
+// Network.Hosts) or directly from agents in tests.
+type Cluster struct {
+	Layer  *hybrid.Layer
+	Agents []*host.Agent
+	MACs   []packet.MAC
+}
+
+// Workers reports the cluster size.
+func (c *Cluster) Workers() int { return len(c.Agents) }
+
+// RunJobOnFabric executes a job DAG on the cluster's fabric via the
+// hybrid fluid layer and returns the job duration in virtual time. Each
+// stage waits for its dependencies, runs ComputeSec of computation, then
+// opens its transfers as fluid flows; the stage completes when the last
+// flow's completion event fires. The engine is drained to run the job;
+// callers on perpetual deployments (replication heartbeats, telemetry
+// flushes) should prefer RunJobsOnFabric which bounds the drain.
+func RunJobOnFabric(job Job, c *Cluster) (sim.Time, error) {
+	d, err := scheduleJob(job, c)
+	if err != nil {
+		return 0, err
+	}
+	c.Layer.Engine().Run()
+	return d.result()
+}
+
+// RunJobsOnFabric runs jobs sequentially (each starts when the previous
+// finishes) and returns per-job durations.
+func RunJobsOnFabric(jobs []Job, c *Cluster) ([]sim.Time, error) {
+	out := make([]sim.Time, 0, len(jobs))
+	for _, j := range jobs {
+		d, err := RunJobOnFabric(j, c)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", j.Name, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// dagRun tracks one in-flight job.
+type dagRun struct {
+	job     Job
+	c       *Cluster
+	base    sim.Time
+	jobEnd  sim.Time
+	remDeps []int
+	deps    [][]int // stage -> dependents
+	remFlow []int
+	done    []bool
+	failed  int
+}
+
+func secToTime(s float64) sim.Time { return sim.Time(math.Ceil(s * 1e9)) }
+
+// scheduleJob validates the DAG, checks worker placement, and schedules
+// the root stages on the engine. Nothing advances until the engine runs.
+func scheduleJob(job Job, c *Cluster) (*dagRun, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	for si, st := range job.Stages {
+		for _, f := range st.Flows {
+			if f.Src < 0 || f.Src >= c.Workers() || f.Dst < 0 || f.Dst >= c.Workers() {
+				return nil, fmt.Errorf("workload: stage %d (%s) places worker %d/%d outside the %d-host cluster",
+					si, st.Name, f.Src, f.Dst, c.Workers())
+			}
+		}
+	}
+	n := len(job.Stages)
+	d := &dagRun{
+		job:     job,
+		c:       c,
+		base:    c.Layer.Engine().Now(),
+		remDeps: make([]int, n),
+		deps:    make([][]int, n),
+		remFlow: make([]int, n),
+		done:    make([]bool, n),
+	}
+	for i, st := range job.Stages {
+		d.remDeps[i] = len(st.Deps)
+		for _, dep := range st.Deps {
+			d.deps[dep] = append(d.deps[dep], i)
+		}
+	}
+	for i := range job.Stages {
+		if d.remDeps[i] == 0 {
+			d.startStage(i, d.base)
+		}
+	}
+	return d, nil
+}
+
+func (d *dagRun) startStage(i int, at sim.Time) {
+	st := d.job.Stages[i]
+	eng := d.c.Layer.Engine()
+	start := at + secToTime(st.ComputeSec)
+	if len(st.Flows) == 0 {
+		eng.At(start, func() { d.completeStage(i, start) })
+		return
+	}
+	d.remFlow[i] = len(st.Flows)
+	stage := i
+	eng.At(start, func() {
+		for fi, fl := range st.Flows {
+			// One FlowKey per transfer: repeated src->dst pairs hash to
+			// distinct paths, exactly like distinct packet flows would.
+			key := host.FlowKey{
+				Dst:     d.c.MACs[fl.Dst],
+				SrcPort: uint16(fi),
+				DstPort: uint16(stage),
+				Proto:   0xFE,
+			}
+			d.c.Layer.Open(d.c.Agents[fl.Src], d.c.MACs[fl.Dst], int64(math.Ceil(fl.Bytes)), key,
+				func(f *hybrid.Flow) {
+					if f.Failed {
+						d.failed++
+					}
+					d.remFlow[stage]--
+					if d.remFlow[stage] == 0 {
+						d.completeStage(stage, f.End)
+					}
+				})
+		}
+	})
+}
+
+func (d *dagRun) completeStage(i int, now sim.Time) {
+	if d.done[i] {
+		return
+	}
+	d.done[i] = true
+	if now > d.jobEnd {
+		d.jobEnd = now
+	}
+	for _, dep := range d.deps[i] {
+		d.remDeps[dep]--
+		if d.remDeps[dep] == 0 {
+			d.startStage(dep, now)
+		}
+	}
+}
+
+// result reports the job duration once the engine has drained.
+func (d *dagRun) result() (sim.Time, error) {
+	for i, ok := range d.done {
+		if !ok {
+			return 0, fmt.Errorf("workload: stage %d (%s) never completed", i, d.job.Stages[i].Name)
+		}
+	}
+	if d.failed > 0 {
+		return 0, fmt.Errorf("workload: %d transfers failed route reservation", d.failed)
+	}
+	return d.jobEnd - d.base, nil
+}

@@ -1,0 +1,147 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"dumbnet/internal/core"
+	"dumbnet/internal/hybrid"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+	"dumbnet/internal/workload"
+)
+
+func buildCluster(t *testing.T, k int, seed int64) (*core.Network, *workload.Cluster) {
+	t.Helper()
+	ft, err := topo.FatTree(k, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := core.New(ft, core.WithSeed(seed), core.WithHybridFlows(hybrid.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	c := &workload.Cluster{Layer: n.Hybrid()}
+	for _, m := range n.Hosts() {
+		c.Agents = append(c.Agents, n.Agent(m))
+		c.MACs = append(c.MACs, m)
+	}
+	return n, c
+}
+
+// TestHiBenchOnFabric runs the HiBench suite (partial shuffle) on a k=4
+// fat-tree through the hybrid layer and sanity-checks each duration: at
+// least the job's compute critical path, at most that plus a generous
+// network allowance.
+func TestHiBenchOnFabric(t *testing.T) {
+	_, c := buildCluster(t, 4, 1)
+	inputGB := 0.02 // keeps shuffles in the MB range
+	jobs := workload.HiBenchSuiteWidth(c.Workers(), 3, inputGB)
+	durs, err := workload.RunJobsOnFabric(jobs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		computeFloor := criticalComputeSec(j)
+		got := float64(durs[i]) / 1e9
+		if got < computeFloor {
+			t.Errorf("%s: duration %.3fs below compute floor %.3fs", j.Name, got, computeFloor)
+		}
+		if got > computeFloor+10 {
+			t.Errorf("%s: duration %.3fs implausibly above compute floor %.3fs", j.Name, got, computeFloor)
+		}
+		t.Logf("%s: %.3fs (compute floor %.3fs)", j.Name, got, computeFloor)
+	}
+	st := c.Layer.Stats()
+	if st.Active != 0 || st.Failed > 0 {
+		t.Fatalf("fluid layer not clean after suite: %+v", st)
+	}
+}
+
+// criticalComputeSec is the DAG's longest compute-only path.
+func criticalComputeSec(j workload.Job) float64 {
+	best := make([]float64, len(j.Stages))
+	var total float64
+	for i, s := range j.Stages {
+		b := 0.0
+		for _, d := range s.Deps {
+			if best[d] > b {
+				b = best[d]
+			}
+		}
+		best[i] = b + s.ComputeSec
+		if best[i] > total {
+			total = best[i]
+		}
+	}
+	return total
+}
+
+// TestHiBenchOnFabricDeterminism: same seed, same suite — identical
+// durations and fluid digests.
+func TestHiBenchOnFabricDeterminism(t *testing.T) {
+	run := func() ([]sim.Time, uint64) {
+		_, c := buildCluster(t, 4, 9)
+		jobs := workload.HiBenchSuiteWidth(c.Workers(), 2, 0.01)
+		durs, err := workload.RunJobsOnFabric(jobs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return durs, c.Layer.Digest()
+	}
+	d1, g1 := run()
+	d2, g2 := run()
+	if g1 != g2 {
+		t.Fatalf("digest mismatch: %016x vs %016x", g1, g2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("job %d duration mismatch: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}
+
+// TestWithShuffleWidth checks the partial-shuffle rewrite preserves per-
+// stage traffic volume and bounds the flow count.
+func TestWithShuffleWidth(t *testing.T) {
+	j := workload.Terasort(64, 1.0)
+	p := j.WithShuffleWidth(4)
+	for i := range j.Stages {
+		want, got := stageBytes(j.Stages[i]), stageBytes(p.Stages[i])
+		if math.Abs(want-got) > 1e-6*math.Max(want, 1) {
+			t.Errorf("stage %d: bytes %.0f != %.0f", i, got, want)
+		}
+		if len(j.Stages[i].Flows) > 0 {
+			if n := len(p.Stages[i].Flows); n != 64*4 {
+				t.Errorf("stage %d: %d flows, want %d", i, n, 64*4)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func stageBytes(s workload.Stage) float64 {
+	var sum float64
+	for _, f := range s.Flows {
+		sum += f.Bytes
+	}
+	return sum
+}
+
+// TestClusterPlacementChecked: out-of-range workers are a scheduling
+// error, not a panic.
+func TestClusterPlacementChecked(t *testing.T) {
+	_, c := buildCluster(t, 4, 1)
+	j := workload.Job{Stages: []workload.Stage{{
+		Name:  "bad",
+		Flows: []workload.Flow{{Src: 0, Dst: c.Workers() + 5, Bytes: 1e6}},
+	}}}
+	if _, err := workload.RunJobOnFabric(j, c); err == nil {
+		t.Fatal("expected placement error")
+	}
+}

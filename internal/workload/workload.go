@@ -76,6 +76,31 @@ func shuffle(workers int, totalBytes float64) []Flow {
 	return flows
 }
 
+// ShuffleWidth builds a partial shuffle: each worker sends to its `width`
+// successors (mod workers), moving totalBytes split evenly over the
+// workers*width transfers. Real shuffle services fetch from a bounded
+// number of peers at a time; the full n*(n-1) mesh is quadratic and
+// unusable at thousands of workers (a k=32 fat-tree's 8192 hosts would
+// need 67M flows), while ShuffleWidth keeps the flow count linear and
+// still crosses pods. width is clamped to workers-1; width <= 0 means the
+// full shuffle.
+func ShuffleWidth(workers, width int, totalBytes float64) []Flow {
+	if workers < 2 {
+		return nil
+	}
+	if width <= 0 || width >= workers {
+		return shuffle(workers, totalBytes)
+	}
+	per := totalBytes / float64(workers*width)
+	flows := make([]Flow, 0, workers*width)
+	for s := 0; s < workers; s++ {
+		for i := 1; i <= width; i++ {
+			flows = append(flows, Flow{Src: s, Dst: (s + i) % workers, Bytes: per})
+		}
+	}
+	return flows
+}
+
 const gb = 1e9
 
 // The HiBench models: input sizes are in GB of raw data; shuffle ratios and
@@ -163,6 +188,43 @@ func HiBenchSuite(workers int, inputGB float64) []Job {
 		Terasort(workers, inputGB),
 		Wordcount(workers, inputGB),
 	}
+}
+
+// WithShuffleWidth rewrites every transfer stage as a partial shuffle of
+// the given width over the same worker set, preserving the stage's total
+// bytes. This is how the HiBench jobs scale to thousands of workers: the
+// DAG shape and traffic volume stay, the quadratic flow count goes.
+func (j Job) WithShuffleWidth(width int) Job {
+	out := Job{Name: j.Name, Stages: make([]Stage, len(j.Stages))}
+	for i, st := range j.Stages {
+		ns := st
+		if len(st.Flows) > 0 {
+			workers := 0
+			total := 0.0
+			for _, f := range st.Flows {
+				if f.Src >= workers {
+					workers = f.Src + 1
+				}
+				if f.Dst >= workers {
+					workers = f.Dst + 1
+				}
+				total += f.Bytes
+			}
+			ns.Flows = ShuffleWidth(workers, width, total)
+		}
+		out.Stages[i] = ns
+	}
+	return out
+}
+
+// HiBenchSuiteWidth is HiBenchSuite with every shuffle bounded to width
+// peers per worker — the form that runs at fat-tree scale.
+func HiBenchSuiteWidth(workers, width int, inputGB float64) []Job {
+	jobs := HiBenchSuite(workers, inputGB)
+	for i := range jobs {
+		jobs[i] = jobs[i].WithShuffleWidth(width)
+	}
+	return jobs
 }
 
 // --- Micro-benchmark traffic -------------------------------------------
