@@ -1,0 +1,130 @@
+package main
+
+import (
+	"testing"
+
+	"dumbnet/internal/controller"
+	"dumbnet/internal/core"
+	"dumbnet/internal/sim"
+	"dumbnet/internal/topo"
+)
+
+// Federation benchmarks. FedRegionalLookupWarm gates the regional route
+// cache (a warm inter-fabric lookup must stay a 0-alloc map probe, like
+// PathRequestWarm for the local plane). The FedWindowsWAN pair runs the
+// identical two-fabric ping-pong workload with a 100µs vs 5ms WAN and
+// records the conservative windows the shard group opened per virtual
+// second — the WAN propagation delay IS the cross-shard lookahead, so the
+// ms-scale interconnect must collapse the window (and barrier) count,
+// which is the whole reason fabric-per-shard federation makes sharding
+// pay. Read the two windows_per_virtual_sec values side by side in
+// BENCH_results.json.
+
+// fedWindowRates holds windows-per-virtual-second captured by the last
+// run of each FedWindows bench, attached to the JSON record via
+// benchExtras.
+var fedWindowRates = map[string]float64{}
+
+// benchExtras lets a benchmark attach metrics beyond what
+// testing.Benchmark reports; runBenchSuite applies the hook by name.
+var benchExtras = map[string]func(*benchResult){
+	"FedWindowsWAN100us": func(r *benchResult) { r.WindowsPerVirtualSec = fedWindowRates["FedWindowsWAN100us"] },
+	"FedWindowsWAN5ms":   func(r *benchResult) { r.WindowsPerVirtualSec = fedWindowRates["FedWindowsWAN5ms"] },
+}
+
+func federationBenches() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"FedRegionalLookupWarm", benchFedRegionalLookupWarm},
+		{"FedWindowsWAN100us", func(b *testing.B) { benchFedWindows(b, "FedWindowsWAN100us", 100*sim.Microsecond) }},
+		{"FedWindowsWAN5ms", func(b *testing.B) { benchFedWindows(b, "FedWindowsWAN5ms", 5*sim.Millisecond) }},
+	}
+}
+
+// buildBenchFederation federates two k=4 fat-tree fabrics over the given
+// WAN delay (2 gateway pairs, so 2 WAN links).
+func buildBenchFederation(b *testing.B, wan sim.Time) *core.Federation {
+	ta, err := topo.FatTree(4, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb, err := topo.FatTree(4, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultFederationConfig(1)
+	cfg.WAN.PropDelay = wan
+	fed, err := core.Federate(cfg,
+		core.FabricSpec{Name: "west", Topo: ta},
+		core.FabricSpec{Name: "east", Topo: tb},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fed
+}
+
+func benchFedRegionalLookupWarm(b *testing.B) {
+	fed := buildBenchFederation(b, 5*sim.Millisecond)
+	defer fed.SimGroup().Close()
+	q := controller.RouteQuery{
+		Src:   fed.Hosts(0)[0],
+		Dst:   fed.Hosts(1)[0],
+		Scope: controller.ScopeFabric,
+	}
+	if _, err := fed.Resolve(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Resolve(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFedWindows keeps four cross-fabric ping-pong conversations alive
+// (every delivery echoes the payload back over the WAN) and measures
+// draining 20ms of virtual time per op, capturing how many conservative
+// windows that took.
+func benchFedWindows(b *testing.B, name string, wan sim.Time) {
+	const virtualPerOp = 20 * sim.Millisecond
+	fed := buildBenchFederation(b, wan)
+	defer fed.SimGroup().Close()
+	payload := make([]byte, 256)
+	for i := 0; i < 4; i++ {
+		src := fed.Hosts(0)[i]
+		dst := fed.Hosts(1)[i]
+		if err := fed.OnReceive(dst, func(s core.MAC, p []byte) { _ = fed.Send(dst, s, p) }); err != nil {
+			b.Fatal(err)
+		}
+		if err := fed.OnReceive(src, func(s core.MAC, p []byte) { _ = fed.Send(src, s, p) }); err != nil {
+			b.Fatal(err)
+		}
+		if err := fed.Send(src, dst, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Let routes warm and the first exchanges complete before timing.
+	fed.RunFor(4 * wan)
+	par0, solo0 := fed.Windows()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fed.RunFor(virtualPerOp)
+	}
+	b.StopTimer()
+	par1, solo1 := fed.Windows()
+	windows := (par1 + solo1) - (par0 + solo0)
+	virtualSec := float64(b.N) * float64(virtualPerOp) / float64(sim.Second)
+	fedWindowRates[name] = float64(windows) / virtualSec
+	if windows == 0 {
+		b.Fatal("federated bench opened no windows")
+	}
+}

@@ -41,11 +41,21 @@ type benchResult struct {
 	FlowsCompleted int64   `json:"flows_completed,omitempty"`
 	HeapSysBytes   int64   `json:"heap_sys_bytes,omitempty"`
 	PeakRSSBytes   int64   `json:"peak_rss_bytes,omitempty"`
+	// Federated window benches additionally record how many conservative
+	// shard windows the group opened per virtual second (the WAN-lookahead
+	// scaling evidence).
+	WindowsPerVirtualSec float64 `json:"windows_per_virtual_sec,omitempty"`
 }
 
 type benchRun struct {
-	Label      string        `json:"label"`
-	Go         string        `json:"go"`
+	Label string `json:"label"`
+	Go    string `json:"go"`
+	// Scheduler shape of the machine that produced the run: sharded-engine
+	// speedup numbers are meaningless without knowing how many cores the
+	// workers actually had (the 1-CPU-container caveat in EXPERIMENTS.md),
+	// so both are recorded on every run and surface in any jq diff.
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
 	Benchmarks []benchResult `json:"benchmarks"`
 	// Memory footprint at the end of the run: the Go heap's OS footprint
 	// (runtime.ReadMemStats HeapSys) and the process high-water RSS where
@@ -414,7 +424,7 @@ func allBenches() []struct {
 	name string
 	fn   func(b *testing.B)
 } {
-	return append(microBenches(), hybridBenches()...)
+	return append(append(microBenches(), hybridBenches()...), federationBenches()...)
 }
 
 // benchRouteService builds a standalone controller over a k=8 fat-tree
@@ -508,7 +518,12 @@ func benchSwitchForward(b *testing.B, rec *trace.Recorder) {
 // runBenchSuite executes the bench suite (optionally filtered by a substring
 // of the benchmark name) and returns the labeled run.
 func runBenchSuite(label, filter string) (benchRun, error) {
-	run := benchRun{Label: label, Go: runtime.Version()}
+	run := benchRun{
+		Label:      label,
+		Go:         runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 	for _, mb := range allBenches() {
 		if filter != "" && !strings.Contains(mb.name, filter) {
 			continue
@@ -521,6 +536,9 @@ func runBenchSuite(label, filter string) (benchRun, error) {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if extra, ok := benchExtras[mb.name]; ok {
+			extra(&res)
 		}
 		fmt.Fprintf(os.Stderr, "%12.2f ns/op %8d B/op %6d allocs/op (%d iters)\n",
 			res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)

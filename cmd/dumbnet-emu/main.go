@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"dumbnet/internal/chaos"
 	"dumbnet/internal/core"
@@ -85,6 +86,10 @@ func main() {
 		hybridOn = flag.Bool("hybrid", false, "attach the hybrid fluid-flow layer and run a bulk-transfer wave through it (incompatible with -shards)")
 		hybridMB = flag.Int("hybrid-mb", 8, "per-transfer size in MB for the -hybrid wave")
 
+		federate = flag.Int("federate", 0, "federate this many copies of the chosen topology over WAN links (>=2; one fabric per shard, cross-fabric traffic + optional -chaos WAN battery)")
+		wanDelay = flag.Duration("wan-delay", 5*time.Millisecond, "WAN link propagation delay between federated fabrics")
+		gateways = flag.Int("gateways", 2, "border gateways per federated fabric pair (= parallel WAN links)")
+
 		telemetryOn   = flag.Bool("telemetry", false, "attach streaming trace analytics (congestion scoreboard, heavy hitters, heal SLO) with a live summary")
 		telemetryWin  = flag.Duration("telemetry-window", 0, "telemetry aggregation window (0 = package default)")
 		telemetryTap  = flag.Int("telemetry-tap", 0, "per-shard tap buffer capacity in records; bursts beyond it are drop-counted, not blocking (0 = package default)")
@@ -132,6 +137,20 @@ func main() {
 		}
 	}
 	defer writeMemProfile()
+
+	if *federate >= 2 {
+		tcfg := telemetry.DefaultConfig()
+		if *telemetryWin > 0 {
+			tcfg.Window = sim.FromDuration(*telemetryWin)
+		}
+		var tele *telemetry.Config
+		if *telemetryOn {
+			tele = &tcfg
+		}
+		runFederated(*kind, *k, *n, *federate, *wanDelay, *gateways, *pings, tele,
+			*chaosOn, *chaosSeed, *chaosEvts)
+		return
+	}
 
 	t, maxPorts, err := buildTopology(*kind, *k, *n)
 	if err != nil {
@@ -505,4 +524,87 @@ func runCollective(net *core.Network, hosts []core.MAC, bytes float64) {
 		}
 		fmt.Println(line)
 	}
+}
+
+// runFederated stands up `count` copies of the chosen topology as one
+// metro/WAN federation — each fabric on its own shard, border gateways
+// wired over WAN links — then measures intra- vs cross-fabric RTTs and
+// optionally runs the WAN chaos battery (link cuts + gateway crashes with
+// never-widen and post-heal audits). Same seed, same chaos digest.
+func runFederated(kind string, k, n, count int, wanDelay time.Duration, gateways, pings int,
+	tele *telemetry.Config, chaosOn bool, chaosSeed int64, chaosEvts int) {
+	specs := make([]core.FabricSpec, count)
+	for i := range specs {
+		t, _, err := buildTopology(kind, k, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs[i] = core.FabricSpec{Name: fmt.Sprintf("fab%d", i), Topo: t}
+	}
+	cfg := core.DefaultFederationConfig(chaosSeed)
+	cfg.WAN.PropDelay = sim.FromDuration(wanDelay)
+	cfg.Gateways = gateways
+	cfg.Telemetry = tele
+	fed, err := core.Federate(cfg, specs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := fed.SimGroup()
+	fmt.Printf("federation: %d fabrics (%d switches, %d hosts each), %d WAN links @ %v, lookahead %v\n",
+		fed.NumFabrics(), specs[0].Topo.NumSwitches(), specs[0].Topo.NumHosts(),
+		len(fed.WANLinks()), wanDelay, g.Lookahead().Duration())
+
+	for fab := 0; fab < count; fab++ {
+		next := (fab + 1) % count
+		src := fed.Hosts(fab)[0]
+		local := fed.Hosts(fab)[1]
+		remote := fed.Hosts(next)[0]
+		for i := 0; i < pings; i++ {
+			irtt, err := fed.PingSync(src, local)
+			if err != nil {
+				log.Fatalf("intra ping %s: %v", fed.Name(fab), err)
+			}
+			xrtt, err := fed.PingSync(src, remote)
+			if err != nil {
+				log.Fatalf("cross ping %s -> %s: %v", fed.Name(fab), fed.Name(next), err)
+			}
+			fmt.Printf("ping %s: intra %v, cross to %s %v\n",
+				fed.Name(fab), irtt.Duration(), fed.Name(next), xrtt.Duration())
+		}
+	}
+	st := fed.Regional().Stats()
+	fmt.Printf("regional resolver: %d hits, %d misses, %d invalidated, %d refused\n",
+		st.Hits, st.Misses, st.Invalidated, st.Refused)
+
+	if chaosOn {
+		ccfg := chaos.DefaultFederationConfig(chaosSeed)
+		ccfg.Events = chaosEvts
+		fmt.Printf("\nwan chaos: seed %d, %d events (link cuts + gateway crashes)\n", chaosSeed, chaosEvts)
+		rep, err := chaos.RunFederation(fed, ccfg)
+		if err != nil {
+			log.Fatalf("wan chaos: %v", err)
+		}
+		for _, e := range rep.Trace {
+			fmt.Printf("  %v\n", e)
+		}
+		fmt.Printf("wan chaos: event digest %016x\n", rep.Digest())
+		if rep.Ok() {
+			fmt.Printf("wan chaos: all invariants held (%d ping retries during re-convergence)\n", rep.PingRetries)
+		} else {
+			for _, v := range rep.Violations {
+				fmt.Printf("wan chaos: INVARIANT VIOLATED — %v\n", v)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if tele != nil {
+		hub := fed.Hub()
+		fmt.Printf("\nfederated telemetry: %d flagged (%d WAN), raised %d, cleared %d, gateways down %d\n",
+			hub.Flagged(), hub.WANFlaggedCount(), hub.Raised(), hub.Cleared(), hub.GatewaysDown())
+	}
+
+	par, solo := fed.Windows()
+	fmt.Printf("\nvirtual time elapsed: %v, windows: %d parallel, %d solo\n",
+		fed.Now().Duration(), par, solo)
 }

@@ -12,6 +12,7 @@ import (
 	"log"
 
 	"dumbnet/internal/core"
+	"dumbnet/internal/host"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
 )
@@ -41,9 +42,7 @@ func run(name string, flowlet bool) {
 	hosts := net.Hosts()
 	src, dst := hosts[0], hosts[len(hosts)-1]
 	if flowlet {
-		if err := net.EnableFlowletTE(src, 200*sim.Microsecond); err != nil {
-			log.Fatal(err)
-		}
+		net.Agent(src).SetPolicy(host.NewFlowletChooser(200 * sim.Microsecond))
 	}
 	// 40 bursts of 20 packets with inter-burst gaps beyond the flowlet
 	// timeout: every burst is one flowlet.

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"dumbnet/internal/controller"
 	"dumbnet/internal/fabric"
 	"dumbnet/internal/packet"
 	"dumbnet/internal/sim"
@@ -145,6 +146,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Tenant)
 	case "migrate-host":
 		return fmt.Sprintf("%v %s %s -> %v", e.At, e.Kind, e.Tenant, e.Host)
+	case "fail-wan", "heal-wan":
+		return fmt.Sprintf("%v %s wan%d", e.At, e.Kind, e.A)
+	case "crash-gateway", "restart-gateway":
+		return fmt.Sprintf("%v %s %v", e.At, e.Kind, e.Host)
 	default:
 		return fmt.Sprintf("%v %s", e.At, e.Kind)
 	}
@@ -703,8 +708,9 @@ func (r *runner) snapshotOthers(exclude vnet.TenantID) []stableProbe {
 			continue
 		}
 		p := stableProbe{tenant: id, src: members[0], dst: members[1]}
-		if w, err := ctrl.Routes().LookupTenantWire(string(id), p.src, p.dst); err == nil {
-			p.wire = append([]byte(nil), w...)
+		if ans, err := ctrl.Resolve(controller.RouteQuery{Src: p.src, Dst: p.dst,
+			Tenant: string(id), Scope: controller.ScopeTenant}); err == nil {
+			p.wire = append([]byte(nil), ans.Wire...)
 			p.ok = true
 		}
 		out = append(out, p)
@@ -721,14 +727,15 @@ func (r *runner) assertOthersStable(mutated vnet.TenantID, kind string, before [
 		return
 	}
 	for _, p := range before {
-		w, err := ctrl.Routes().LookupTenantWire(string(p.tenant), p.src, p.dst)
+		ans, err := ctrl.Resolve(controller.RouteQuery{Src: p.src, Dst: p.dst,
+			Tenant: string(p.tenant), Scope: controller.ScopeTenant})
 		if p.ok {
 			if err != nil {
 				r.violate("tenant-blast-radius", "%s of %s broke tenant %s route %v->%v: %v",
 					kind, mutated, p.tenant, p.src, p.dst, err)
 				continue
 			}
-			if !bytes.Equal(p.wire, w) {
+			if !bytes.Equal(p.wire, ans.Wire) {
 				r.violate("tenant-blast-radius", "%s of %s changed tenant %s route %v->%v",
 					kind, mutated, p.tenant, p.src, p.dst)
 			}

@@ -1,0 +1,80 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"dumbnet/internal/chaos"
+	"dumbnet/internal/core"
+	"dumbnet/internal/topo"
+)
+
+// buildFederation stands up a two-fabric federation of small fat-trees
+// for the WAN battery.
+func buildFederation(t *testing.T, seed int64) *core.Federation {
+	t.Helper()
+	ta, err := topo.FatTree(4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := topo.FatTree(4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := core.Federate(core.DefaultFederationConfig(seed),
+		core.FabricSpec{Name: "west", Topo: ta},
+		core.FabricSpec{Name: "east", Topo: tb},
+	)
+	if err != nil {
+		t.Fatalf("Federate: %v", err)
+	}
+	return fed
+}
+
+// TestFederationChaosBattery runs the randomized WAN battery — link cuts
+// and gateway crashes with never-widen and blast-radius audits after every
+// event — and requires a clean report.
+func TestFederationChaosBattery(t *testing.T) {
+	fed := buildFederation(t, 21)
+	rep, err := chaos.RunFederation(fed, chaos.DefaultFederationConfig(21))
+	if err != nil {
+		t.Fatalf("RunFederation: %v", err)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatalf("battery injected no events")
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation [%s]: %s", v.Invariant, v.Detail)
+	}
+	if t.Failed() {
+		t.Fatalf("%d invariant violations (digest %#x)", len(rep.Violations), rep.Digest())
+	}
+}
+
+// TestFederationChaosDeterminism replays the same seed on two freshly
+// built federations and requires identical event traces and digests; a
+// different seed must diverge.
+func TestFederationChaosDeterminism(t *testing.T) {
+	run := func(seed int64) *chaos.Report {
+		fed := buildFederation(t, 21)
+		rep, err := chaos.RunFederation(fed, chaos.DefaultFederationConfig(seed))
+		if err != nil {
+			t.Fatalf("RunFederation(seed=%d): %v", seed, err)
+		}
+		return rep
+	}
+	a := run(33)
+	b := run(33)
+	c := run(34)
+	if !chaos.TraceEqual(a.Trace, b.Trace) {
+		t.Fatalf("same seed diverged:\n%v\nvs\n%v", a.Trace, b.Trace)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same-seed digests differ: %#x vs %#x", a.Digest(), b.Digest())
+	}
+	if chaos.TraceEqual(a.Trace, c.Trace) {
+		t.Fatalf("different seeds produced identical traces")
+	}
+	if len(a.Violations)+len(c.Violations) != 0 {
+		t.Fatalf("violations: seed33=%d seed34=%d", len(a.Violations), len(c.Violations))
+	}
+}

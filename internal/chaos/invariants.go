@@ -183,10 +183,11 @@ func (r *runner) auditRouteCache() {
 	if src == dst {
 		return
 	}
-	pg, err := ctrl.Routes().Lookup(src, dst)
+	ans, err := ctrl.Resolve(controller.RouteQuery{Src: src, Dst: dst, Scope: controller.ScopeGlobal})
 	if err != nil {
 		return
 	}
+	pg := ans.Graph()
 	r.assertPathInView(ctrl.Master(), "mid-chaos", src, dst, pg)
 }
 
@@ -223,11 +224,20 @@ func (r *runner) checkRouteService() {
 			if id, ok := r.mgr.TenantOf(src); ok {
 				// Same tenant (cross-domain pairs were excluded): the
 				// answer must come from inside the slice.
-				pg, err = ctrl.Routes().LookupTenant(string(id), src, dst)
+				var ans controller.RouteAnswer
+				ans, err = ctrl.Resolve(controller.RouteQuery{Src: src, Dst: dst,
+					Tenant: string(id), Scope: controller.ScopeTenant})
+				if err == nil {
+					pg = ans.Graph()
+				}
 			}
 		}
 		if pg == nil && err == nil {
-			pg, err = ctrl.Routes().Lookup(src, dst)
+			var ans controller.RouteAnswer
+			ans, err = ctrl.Resolve(controller.RouteQuery{Src: src, Dst: dst, Scope: controller.ScopeGlobal})
+			if err == nil {
+				pg = ans.Graph()
+			}
 		}
 		if err != nil {
 			r.violate("route-cache", "%v -> %v: no path graph after heal: %v", src, dst, err)

@@ -270,28 +270,22 @@ type topoSink interface {
 // SetVirtualization installs a tenant policy on the path service.
 func (c *Controller) SetVirtualization(v Virtualizer) { c.virt = v }
 
-// pathGraphWire returns the serialized path-graph answer for (src, dst).
-// Tenant requests are served from the route service's per-tenant cache —
-// slice-restricted answers keyed by (tenant, pair, topoGen, tenantGen) —
-// and everything else by the global cache. Isolation is symmetric: an
-// untenanted host asking for a route *into* a slice is refused too, so no
-// cross-domain exchange can complete in either direction.
+// pathGraphWire returns the serialized path-graph answer for (src, dst): a
+// ScopeAuto Resolve, which routes tenant members to the route service's
+// per-tenant cache — slice-restricted answers keyed by (tenant, pair,
+// topoGen, tenantGen) — and everything else to the global cache. Isolation
+// is symmetric: an untenanted host asking for a route *into* a slice is
+// refused too, so no cross-domain exchange can complete in either
+// direction.
 func (c *Controller) pathGraphWire(src, dst packet.MAC) ([]byte, error) {
-	if c.virt != nil {
-		if tenant, ok := c.virt.TenantOf(src); ok {
-			wire, err := c.routes.LookupTenantWire(tenant, src, dst)
-			if err != nil {
-				c.stats.PathRefused++
-				return nil, err
-			}
-			return wire, nil
-		}
-		if _, ok := c.virt.TenantOf(dst); ok {
+	ans, err := c.Resolve(RouteQuery{Src: src, Dst: dst})
+	if err != nil {
+		if ans.Tenant != "" || errors.Is(err, ErrIsolated) {
 			c.stats.PathRefused++
-			return nil, ErrIsolated
 		}
+		return nil, err
 	}
-	return c.routes.LookupWire(src, dst)
+	return ans.Wire, nil
 }
 
 // handlePathRequest queues a path request for the route service. Concurrent

@@ -166,26 +166,31 @@ func (s *RouteService) computeEntry(m *topo.Topology, key pairKey, sc *topo.Dens
 	return &routeEntry{top: m, version: version, topoGen: gen, pg: pg, wire: pg.Marshal()}, nil
 }
 
-// Lookup returns the (possibly cached) path graph for src -> dst. The result
-// is a defensive clone: callers may mutate it freely without corrupting the
-// cache.
+// Lookup returns the (possibly cached) path graph for src -> dst, cloned
+// for safe mutation.
+//
+// Deprecated: use Controller.Resolve(RouteQuery{Src: src, Dst: dst,
+// Scope: ScopeGlobal}).Graph(). Retained as a thin shim.
 func (s *RouteService) Lookup(src, dst packet.MAC) (*topo.PathGraph, error) {
-	e, err := s.lookup(src, dst)
+	ans, err := s.c.Resolve(RouteQuery{Src: src, Dst: dst, Scope: ScopeGlobal})
 	if err != nil {
 		return nil, err
 	}
-	return e.pg.Clone(), nil
+	return ans.Graph(), nil
 }
 
 // LookupWire returns the serialized path graph (the MsgPathResponse blob
 // body) for src -> dst. The returned bytes are shared across callers and
 // must not be modified; a warm hit performs zero allocations.
+//
+// Deprecated: use Controller.Resolve(RouteQuery{Src: src, Dst: dst,
+// Scope: ScopeGlobal}).Wire. Retained as a thin shim.
 func (s *RouteService) LookupWire(src, dst packet.MAC) ([]byte, error) {
-	e, err := s.lookup(src, dst)
+	ans, err := s.c.Resolve(RouteQuery{Src: src, Dst: dst, Scope: ScopeGlobal})
 	if err != nil {
 		return nil, err
 	}
-	return e.wire, nil
+	return ans.Wire, nil
 }
 
 // freshTenant reports whether e still answers for master m at tenant
@@ -230,23 +235,29 @@ func (s *RouteService) lookupTenant(tenant string, src, dst packet.MAC) (*tenant
 
 // LookupTenant returns the (possibly cached) slice-restricted path graph
 // for a tenant member pair, cloned for safe mutation.
+//
+// Deprecated: use Controller.Resolve(RouteQuery{Src: src, Dst: dst,
+// Tenant: tenant, Scope: ScopeTenant}).Graph(). Retained as a thin shim.
 func (s *RouteService) LookupTenant(tenant string, src, dst packet.MAC) (*topo.PathGraph, error) {
-	e, err := s.lookupTenant(tenant, src, dst)
+	ans, err := s.c.Resolve(RouteQuery{Src: src, Dst: dst, Tenant: tenant, Scope: ScopeTenant})
 	if err != nil {
 		return nil, err
 	}
-	return e.pg.Clone(), nil
+	return ans.Graph(), nil
 }
 
 // LookupTenantWire returns the serialized slice-restricted path graph. The
 // returned bytes are shared and must not be modified; a warm hit performs
 // zero allocations.
+//
+// Deprecated: use Controller.Resolve(RouteQuery{Src: src, Dst: dst,
+// Tenant: tenant, Scope: ScopeTenant}).Wire. Retained as a thin shim.
 func (s *RouteService) LookupTenantWire(tenant string, src, dst packet.MAC) ([]byte, error) {
-	e, err := s.lookupTenant(tenant, src, dst)
+	ans, err := s.c.Resolve(RouteQuery{Src: src, Dst: dst, Tenant: tenant, Scope: ScopeTenant})
 	if err != nil {
 		return nil, err
 	}
-	return e.wire, nil
+	return ans.Wire, nil
 }
 
 // AuditTenantRoutes re-verifies every cached tenant answer against the

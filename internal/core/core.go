@@ -89,6 +89,16 @@ type Network struct {
 	simGroup *sim.ShardGroup // nil in single-engine runs
 	chaosCfg *chaos.Config   // stored by WithChaos for RunChaos
 
+	// federation hooks, installed by core.Federate before any traffic runs
+	// and read (under mu: dispatch fires on shard workers) on the gateway
+	// and destination hosts of federated envelopes. The sibling maps hold
+	// this member's federated data sinks and in-flight federated echoes.
+	fedRelay     func(at MAC, env []byte)
+	fedDeliver   func(at MAC, env []byte)
+	fedReceivers map[MAC]func(src MAC, payload []byte)
+	fedSeq       uint64
+	fedWait      map[uint64]func(rtt sim.Time)
+
 	// replication requested via options, applied when the network boots.
 	pendingReplicas   int
 	pendingReplicasAt []MAC
@@ -120,6 +130,12 @@ const (
 	kindEchoReq
 	kindEchoRep
 	kindMcastProbe
+	// kindFedRelay carries a federation envelope from a local host to its
+	// border gateway; kindFedDeliver carries one from the ingress gateway
+	// to the local destination host. Both are only dispatched on federated
+	// member networks (core.Federate installs the hooks).
+	kindFedRelay
+	kindFedDeliver
 )
 
 // New deploys a topology: switches and links come up, every host gets an
@@ -139,6 +155,9 @@ func New(t *topo.Topology, opts ...Option) (*Network, error) {
 	if o.shards > 1 && o.hybrid != nil {
 		return nil, fmt.Errorf("core: WithShards(%d) cannot be combined with WithHybridFlows (the fluid layer shares one engine clock)", o.shards)
 	}
+	if o.fedEngine != nil && (o.shards > 1 || o.hybrid != nil || o.replicas > 0 || len(o.replicasAt) > 0) {
+		return nil, fmt.Errorf("core: WithFederation cannot be combined with WithShards, WithHybridFlows, or controller replication (a member fabric lives whole on its federation shard)")
+	}
 
 	var (
 		eng      *sim.Engine
@@ -146,7 +165,11 @@ func New(t *topo.Topology, opts ...Option) (*Network, error) {
 		fab      *fabric.Fabric
 		err      error
 	)
-	if o.shards > 1 {
+	if o.fedEngine != nil {
+		// Federated member: the whole fabric on the supplied shard engine.
+		eng = o.fedEngine
+		fab, err = fabric.Build(eng, t, cfg.Fabric)
+	} else if o.shards > 1 {
 		simGroup = sim.NewShardedEngine(cfg.Seed, sim.Shards(o.shards))
 		part := topo.PartitionShards(t, o.shards)
 		fab, err = fabric.BuildSharded(simGroup, t, cfg.Fabric, part)
@@ -173,6 +196,8 @@ func New(t *topo.Topology, opts ...Option) (*Network, error) {
 		receivers:         make(map[MAC]func(MAC, []byte)),
 		pingWait:          make(map[uint64]func(sim.Time)),
 		mcastWait:         make(map[uint64]func(MAC)),
+		fedReceivers:      make(map[MAC]func(MAC, []byte)),
+		fedWait:           make(map[uint64]func(sim.Time)),
 		simGroup:          simGroup,
 		chaosCfg:          o.chaos,
 		pendingReplicas:   o.replicas,
@@ -227,14 +252,6 @@ func New(t *topo.Topology, opts ...Option) (*Network, error) {
 		n.hybrid = ly
 	}
 	return n, nil
-}
-
-// NewWithConfig deploys with a bundled Config.
-//
-// Deprecated: use New(t, WithConfig(cfg)) — or the fine-grained options —
-// instead. Retained so pre-options callers keep compiling.
-func NewWithConfig(t *topo.Topology, cfg Config) (*Network, error) {
-	return New(t, WithConfig(cfg))
 }
 
 // Hosts lists the non-controller host MACs in deterministic order.
@@ -356,6 +373,20 @@ func (n *Network) dispatch(at, src MAC, payload []byte) {
 			if fn != nil {
 				fn(n.agents[at].Engine().Now())
 			}
+		}
+	case kindFedRelay:
+		n.mu.Lock()
+		relay := n.fedRelay
+		n.mu.Unlock()
+		if relay != nil {
+			relay(at, body)
+		}
+	case kindFedDeliver:
+		n.mu.Lock()
+		deliver := n.fedDeliver
+		n.mu.Unlock()
+		if deliver != nil {
+			deliver(at, body)
 		}
 	case kindMcastProbe:
 		if len(body) >= 8 {
@@ -549,27 +580,6 @@ func (n *Network) Run() {
 
 // RunFor advances virtual time by d.
 func (n *Network) RunFor(d sim.Time) { n.Eng.RunFor(d) }
-
-// EnableFlowletTE switches a host's route chooser to flowlet-based traffic
-// engineering (§6.2).
-//
-// Deprecated: use SetPolicy(h, "flowlet") for the default timeout, or
-// Agent(h).SetPolicy(host.NewFlowletChooser(timeout)) for a custom one.
-func (n *Network) EnableFlowletTE(h MAC, timeout sim.Time) error {
-	a, ok := n.agents[h]
-	if !ok {
-		return ErrNoSuchHost
-	}
-	a.SetPolicy(host.NewFlowletChooser(timeout))
-	return nil
-}
-
-// UseSinglePath pins a host to its primary path (the Fig 13 baseline).
-//
-// Deprecated: use SetPolicy(h, "single").
-func (n *Network) UseSinglePath(h MAC) error {
-	return n.SetPolicy(h, "single")
-}
 
 // EnableReplication stands up total-1 additional controller replicas and
 // routes every topology mutation through a consensus log (the paper's

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dumbnet/internal/core"
+	"dumbnet/internal/host"
 	"dumbnet/internal/sim"
 	"dumbnet/internal/topo"
 )
@@ -141,18 +142,18 @@ func TestWarmAllPrimesTables(t *testing.T) {
 	}
 }
 
-func TestEnableFlowletTE(t *testing.T) {
+func TestSetPolicyPerHost(t *testing.T) {
 	n := deploy(t)
-	h := n.Hosts()[0]
-	if err := n.EnableFlowletTE(h, 100*sim.Microsecond); err != nil {
+	if err := n.SetPolicy(n.Hosts()[0], "flowlet"); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.UseSinglePath(n.Hosts()[1]); err != nil {
+	n.Agent(n.Hosts()[0]).SetPolicy(host.NewFlowletChooser(100 * sim.Microsecond))
+	if err := n.SetPolicy(n.Hosts()[1], "single"); err != nil {
 		t.Fatal(err)
 	}
 	var nobody core.MAC
 	nobody[0] = 9
-	if err := n.EnableFlowletTE(nobody, sim.Second); !errors.Is(err, core.ErrNoSuchHost) {
+	if err := n.SetPolicy(nobody, "flowlet"); !errors.Is(err, core.ErrNoSuchHost) {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dumbnet/internal/controller"
 	"dumbnet/internal/host"
 	"dumbnet/internal/mcast"
 	"dumbnet/internal/packet"
@@ -87,10 +88,11 @@ func (n *Network) mcastSend(src MAC, id uint32, body []byte) error {
 	if n.Ctrl.Down() {
 		return fmt.Errorf("core: multicast tree fetch for group %d: controller down", id)
 	}
-	wire, err := n.Ctrl.Mcast().LookupTreeWire(mcast.GroupID(id), src)
+	ans, err := n.Ctrl.Resolve(controller.RouteQuery{Src: src,
+		Group: mcast.GroupID(id), Scope: controller.ScopeTree})
 	if err != nil {
 		return err
 	}
-	a.SetMcastTree(id, wire)
+	a.SetMcastTree(id, ans.Wire)
 	return a.SendMcast(id, packet.EtherTypeIPv4, body)
 }

@@ -6,6 +6,7 @@ import (
 	"dumbnet/internal/fabric"
 	"dumbnet/internal/host"
 	"dumbnet/internal/hybrid"
+	"dumbnet/internal/sim"
 	"dumbnet/internal/telemetry"
 	"dumbnet/internal/trace"
 	"dumbnet/internal/vnet"
@@ -39,6 +40,7 @@ type options struct {
 	tenantCls  vnet.Class // degradation class for carved tenants
 	telemetry  *telemetry.Config
 	hybrid     *hybrid.Config
+	fedEngine  *sim.Engine // externally owned engine (WithFederation)
 }
 
 func defaultOptions() options {
@@ -161,6 +163,17 @@ func WithPolicy(name string) Option {
 // defaults.
 func WithHybridFlows(cfg hybrid.Config) Option {
 	return func(o *options) { o.hybrid = &cfg }
+}
+
+// WithFederation places the whole deployment on an externally owned engine
+// — in practice one shard of a federation's engine group (core.Federate) —
+// instead of creating its own. The deployment is then one member fabric of
+// a metro/WAN federation: Run/RunFor on it advance the entire group.
+// Incompatible with WithShards, WithHybridFlows, and controller
+// replication (each assumes the deployment owns its engine); combining
+// them is a construction error.
+func WithFederation(eng *sim.Engine) Option {
+	return func(o *options) { o.fedEngine = eng }
 }
 
 // WithTelemetry enables the online telemetry subsystem once the network

@@ -234,14 +234,14 @@ func TestWithChaosRunChaos(t *testing.T) {
 	}
 }
 
-func TestNewWithConfigShim(t *testing.T) {
+func TestNewWithConfig(t *testing.T) {
 	tp, err := topo.Testbed()
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = 77
-	n, err := core.NewWithConfig(tp, cfg)
+	n, err := core.New(tp, core.WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -141,9 +141,7 @@ func AblationFlowletTimeout() (*Result, error) {
 		n.WarmAll()
 		hosts := n.Hosts()
 		src, dst := hosts[0], hosts[len(hosts)-1]
-		if err := n.EnableFlowletTE(src, to); err != nil {
-			return nil, err
-		}
+		n.Agent(src).SetPolicy(host.NewFlowletChooser(to))
 		payload := make([]byte, 1000)
 		for burst := 0; burst < 40; burst++ {
 			for p := 0; p < 20; p++ {
@@ -335,14 +333,15 @@ func AblationECN() (*Result, error) {
 		if err := n.Agent(fgSrc).InstallRoute(fgDst, fgTags); err != nil {
 			return 0, err
 		}
-		if err := n.UseSinglePath(bgSrc); err != nil {
+		if err := n.SetPolicy(bgSrc, "single"); err != nil {
 			return 0, err
 		}
 		if ecn {
 			// The cooldown must exceed the feedback horizon (queueing +
 			// echo RTT) or stale marks from packets sent before a reroute
 			// bounce the chooser straight back.
-			ch := n.Agent(fgSrc).UseECNRouting(3 * sim.Millisecond)
+			ch := host.NewECNChooser(3*sim.Millisecond, nil)
+			n.Agent(fgSrc).SetPolicy(ch)
 			// Start on the congested path (index 0, the installed route)
 			// so the measurement shows rerouting, not initial luck.
 			flow := host.FlowKey{Dst: fgDst}
@@ -350,7 +349,7 @@ func AblationECN() (*Result, error) {
 				ch.SetEpoch(fgDst, ch.Epoch(fgDst)+1)
 			}
 		} else {
-			if err := n.UseSinglePath(fgSrc); err != nil {
+			if err := n.SetPolicy(fgSrc, "single"); err != nil {
 				return 0, err
 			}
 		}

@@ -1,0 +1,60 @@
+package federation
+
+import (
+	"bytes"
+	"testing"
+
+	"dumbnet/internal/packet"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	e := Envelope{
+		Kind:      EnvEchoReq,
+		SrcFabric: 1,
+		DstFabric: 3,
+		TTL:       DefaultTTL,
+		Src:       packet.MACFromUint64(0x10_0007),
+		Dst:       packet.MACFromUint64(0x30_0042),
+		Seq:       0xdeadbeefcafe,
+		Payload:   []byte("metro"),
+	}
+	buf := e.Encode()
+	got, ok := DecodeEnvelope(buf)
+	if !ok {
+		t.Fatal("round-trip decode failed")
+	}
+	if got.Kind != e.Kind || got.SrcFabric != e.SrcFabric || got.DstFabric != e.DstFabric ||
+		got.TTL != e.TTL || got.Src != e.Src || got.Dst != e.Dst || got.Seq != e.Seq {
+		t.Fatalf("header mangled: %+v vs %+v", got, e)
+	}
+	if !bytes.Equal(got.Payload, e.Payload) {
+		t.Fatalf("payload mangled: %q", got.Payload)
+	}
+}
+
+func TestEnvelopeDecodeShort(t *testing.T) {
+	if _, ok := DecodeEnvelope(make([]byte, envHeader-1)); ok {
+		t.Fatal("decoded a truncated envelope")
+	}
+	if _, ok := DecodeEnvelope(nil); ok {
+		t.Fatal("decoded nil")
+	}
+}
+
+func TestEnvelopeTTLExpiry(t *testing.T) {
+	e := Envelope{Kind: EnvData, TTL: 2}
+	buf := e.Encode()
+	if !decTTL(buf) {
+		t.Fatal("ttl 2 -> 1 should pass")
+	}
+	if !decTTL(buf) {
+		t.Fatal("ttl 1 -> 0 should pass")
+	}
+	if decTTL(buf) {
+		t.Fatal("ttl 0 must expire")
+	}
+	got, ok := DecodeEnvelope(buf)
+	if !ok || got.TTL != 0 {
+		t.Fatalf("in-place decrement lost: ttl=%d ok=%v", got.TTL, ok)
+	}
+}

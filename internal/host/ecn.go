@@ -78,7 +78,7 @@ type ECNChooser struct {
 }
 
 // NewECNChooser creates a congestion-aware chooser. The clock is supplied
-// by the agent when installed via UseECNRouting (or manually for tests).
+// by the agent when installed via SetPolicy (or manually for tests).
 func NewECNChooser(cooldown sim.Time, clock func() sim.Time) *ECNChooser {
 	return &ECNChooser{
 		Cooldown: cooldown,
@@ -115,13 +115,3 @@ func (c *ECNChooser) Epoch(dst packet.MAC) uint64 { return c.epoch[dst] }
 // SetEpoch pins a destination's epoch — experiments use it to start a flow
 // on a known path index before measuring rerouting behaviour.
 func (c *ECNChooser) SetEpoch(dst packet.MAC, e uint64) { c.epoch[dst] = e }
-
-// UseECNRouting installs a congestion-aware chooser on the agent.
-//
-// Deprecated: use Agent.UsePolicy("ecn") for defaults, or
-// Agent.SetPolicy(NewECNChooser(cooldown, nil)) for a custom cooldown.
-func (a *Agent) UseECNRouting(cooldown sim.Time) *ECNChooser {
-	c := NewECNChooser(cooldown, nil)
-	a.SetPolicy(c)
-	return c
-}

@@ -105,7 +105,8 @@ func TestECNEchoRateLimited(t *testing.T) {
 func TestECNChooserReroutesOnCongestion(t *testing.T) {
 	n := deployECN(t)
 	src, dst := n.Hosts[0], n.Hosts[len(n.Hosts)-1]
-	chooser := n.Agent(src).UseECNRouting(100 * sim.Microsecond)
+	chooser := host.NewECNChooser(100*sim.Microsecond, nil)
+	n.Agent(src).SetPolicy(chooser)
 	_ = n.Agent(src).SendData(dst, []byte("warm"))
 	n.Run()
 	_ = n.Agent(dst).SendData(src, []byte("warm-back"))

@@ -81,6 +81,14 @@ type ShardGroup struct {
 	work   []chan Time // per-worker window deadlines, shards 1..n-1
 	wg     sync.WaitGroup
 	closed bool
+
+	// Window accounting: how many barrier windows (>= 2 active shards) and
+	// solo fast-path windows the group has executed. The ratio of virtual
+	// time advanced to barrier windows is the direct measure of how much a
+	// given lookahead (e.g. a WAN interconnect's propagation delay) buys —
+	// the federated sharding bench reports it.
+	windowsParallel uint64
+	windowsSolo     uint64
 }
 
 type mergeItem struct {
@@ -146,6 +154,14 @@ func (g *ShardGroup) Shard(i int) *Engine { return g.shards[i] }
 // Lookahead returns the window width: the minimum registered cross-shard
 // link latency, or maxTime when no cross-shard link exists.
 func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Windows reports how many execution windows the group has run since
+// construction: parallel barrier windows (two or more shards dispatched)
+// and solo fast-path windows. Fewer barrier windows per unit of virtual
+// time means wider windows — the payoff of a larger lookahead.
+func (g *ShardGroup) Windows() (parallel, solo uint64) {
+	return g.windowsParallel, g.windowsSolo
+}
 
 // registerCrossLink narrows the lookahead to the new cross-shard link's
 // latency. Called by NewLinkBetween for every link whose endpoints live on
@@ -301,6 +317,7 @@ func (g *ShardGroup) run(deadline Time, clamp bool) {
 				g.markOwners(active)
 			}
 			e.runWindowSolo(bound, la)
+			g.windowsSolo++
 			g.merge()
 			continue
 		}
@@ -328,6 +345,7 @@ func (g *ShardGroup) run(deadline Time, clamp bool) {
 			g.shards[0].runWindow(end)
 		}
 		g.wg.Wait()
+		g.windowsParallel++
 		g.merge()
 	}
 

@@ -1,0 +1,60 @@
+package topo
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"dumbnet/internal/packet"
+)
+
+// Offset rebuilds a topology with every switch ID shifted by swOff and
+// every host MAC shifted by macOff (applied to the generator's 40-bit
+// address payload; the locally-administered prefix byte is preserved).
+// The generators assign the same deterministic IDs and MACs on every call,
+// so two independently generated fabrics collide on both namespaces;
+// federation uses Offset to give each member fabric a disjoint ID and
+// address space before interconnecting them. The input is not mutated.
+func Offset(t *Topology, swOff SwitchID, macOff uint64) (*Topology, error) {
+	out := New()
+	ids := t.SwitchIDs()
+	for _, id := range ids {
+		if err := out.AddSwitch(id+swOff, t.switches[id].Ports); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range ids {
+		sw := t.switches[id]
+		ports := make([]Port, 0, len(sw.wired))
+		for p := range sw.wired {
+			ports = append(ports, p)
+		}
+		sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+		for _, p := range ports {
+			ep := sw.wired[p]
+			switch ep.Kind {
+			case EndpointSwitch:
+				// Each cable appears once from either side; wire it from the
+				// lower-ID side only.
+				if id < ep.Switch || (id == ep.Switch && p < ep.Port) {
+					if err := out.Connect(id+swOff, p, ep.Switch+swOff, ep.Port); err != nil {
+						return nil, err
+					}
+				}
+			case EndpointHost:
+				if err := out.AttachHost(offsetMAC(ep.Host, macOff), id+swOff, p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// offsetMAC adds off to the 40-bit numeric payload of a generator MAC
+// (the MACFromUint64 layout), keeping byte 0 intact.
+func offsetMAC(m MAC, off uint64) MAC {
+	v := uint64(m[1])<<32 | uint64(binary.BigEndian.Uint32(m[2:]))
+	nm := packet.MACFromUint64(v + off)
+	nm[0] = m[0]
+	return nm
+}

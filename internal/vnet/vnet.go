@@ -45,13 +45,6 @@ var (
 // both flavors of escape.
 var ErrUnknownSwitch = fmt.Errorf("vnet: route crosses unknown switch: %w", ErrOutsideSlice)
 
-// ErrEmptyTenant is the old name for ErrTooFewHosts (it fires for one-host
-// tenants, not empty ones).
-//
-// Deprecated: use ErrTooFewHosts. The alias is the same error value, so
-// errors.Is against either name keeps working.
-var ErrEmptyTenant = ErrTooFewHosts
-
 // Class is a tenant's degradation/rate class: the routing policy and the
 // per-controller path-query retry budget installed on its member hosts.
 // Zero fields mean "leave the host default in place".

@@ -46,7 +46,7 @@ func TestCreateTenantAndView(t *testing.T) {
 
 func TestTenantErrors(t *testing.T) {
 	_, m, macs := deploy(t)
-	if _, err := m.CreateTenant("a", macs[:1]); !errors.Is(err, ErrEmptyTenant) {
+	if _, err := m.CreateTenant("a", macs[:1]); !errors.Is(err, ErrTooFewHosts) {
 		t.Fatalf("singleton: %v", err)
 	}
 	if _, err := m.CreateTenant("a", macs[:3]); err != nil {
